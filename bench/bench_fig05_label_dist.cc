@@ -1,0 +1,42 @@
+// Reproduces paper Fig. 5: the distribution of tensor-program latency labels
+// under the candidate normalization methods (original, Box-Cox, Yeo-Johnson,
+// Quantile). The paper's conclusion: raw Y is heavily long-tailed and Box-Cox
+// yields the most normal, symmetric distribution.
+#include <cstdio>
+
+#include "src/exp/exp_common.h"
+#include "src/ml/transforms.h"
+#include "src/support/stats.h"
+
+namespace cdmpp {
+namespace {
+
+int Run() {
+  PrintBenchHeader("bench_fig05_label_dist", "Fig. 5",
+                   "latency label distribution under each normalization (T4)");
+  Dataset ds = BuildBenchDataset({0});
+  std::vector<double> y;
+  for (const Sample& s : ds.samples) {
+    y.push_back(s.latency_seconds * 1e3);  // ms
+  }
+
+  TablePrinter table({"normalization", "skewness", "mean", "stddev", "p1", "p99"});
+  for (NormKind kind : {NormKind::kNone, NormKind::kBoxCox, NormKind::kYeoJohnson,
+                        NormKind::kQuantile}) {
+    auto tf = MakeLabelTransform(kind);
+    tf->Fit(y);
+    std::vector<double> t = tf->TransformAll(y);
+    table.AddRow({NormKindName(kind), FormatDouble(Skewness(t), 3), FormatDouble(Mean(t), 3),
+                  FormatDouble(Stddev(t), 3), FormatDouble(Percentile(t, 1), 3),
+                  FormatDouble(Percentile(t, 99), 3)});
+  }
+  table.Print(stdout);
+  std::printf("\nRaw-label skewness = %.2f (long tail, paper Fig. 5(a)).\n", Skewness(y));
+  std::printf("Box-Cox should show |skewness| closest to 0 (paper Fig. 5(b)).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cdmpp
+
+int main() { return cdmpp::Run(); }

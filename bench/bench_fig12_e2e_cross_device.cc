@@ -1,0 +1,78 @@
+// Reproduces paper Fig. 12: cross-device end-to-end performance prediction —
+// predictors trained on source GPUs predict full-network iteration times on
+// unseen target GPUs (P100, V100), compared against Habitat's roofline
+// scaling. TLP is excluded as in the paper (relative times cannot be
+// accumulated into an end-to-end latency).
+#include <cstdio>
+
+#include "src/baselines/habitat.h"
+#include "src/core/sampler.h"
+#include "src/exp/exp_common.h"
+#include "src/replay/e2e.h"
+#include "src/support/stats.h"
+
+namespace cdmpp {
+namespace {
+
+int Run() {
+  PrintBenchHeader("bench_fig12_e2e_cross_device", "Fig. 12",
+                   "cross-device end-to-end prediction (targets P100, V100) vs Habitat");
+  Dataset ds = BuildBenchDataset({0, 1, 2, 3, 4});  // all GPUs
+  const std::vector<std::string> nets = {"resnet50_bs1_r224", "bert_tiny_bs1_s128",
+                                         "inception_v3_bs1_r224"};
+
+  for (int target : {2, 3}) {  // P100, V100
+    std::vector<int> sources;
+    for (int g : GpuDeviceIds()) {
+      if (g != target) {
+        sources.push_back(g);
+      }
+    }
+    Rng rng(8000 + static_cast<uint64_t>(target));
+    SplitIndices src = SplitDataset(ds, sources, {}, &rng);
+
+    CdmppPredictor cdmpp(BenchPredictorConfig(22));
+    cdmpp.Pretrain(ds, Take(src.train, 4000), src.valid);
+    std::vector<int> tasks = SelectTasksKMeans(ds, 20, &rng);
+    std::vector<int> target_labeled = SamplesForTasksOnDevice(ds, tasks, target);
+    std::vector<int> labeled = Take(src.train, 2000);
+    labeled.insert(labeled.end(), target_labeled.begin(), target_labeled.end());
+    cdmpp.Finetune(ds, labeled, Take(src.train, 400), Take(SamplesOnDevice(ds, target), 400),
+                   4);
+
+    HabitatModel habitat{HabitatConfig{}};
+    habitat.Fit(ds, src.train, sources.front());
+
+    const DeviceSpec& spec = DeviceById(target);
+    std::printf("\nPrediction onto %s:\n", spec.name.c_str());
+    TablePrinter table({"network", "truth (ms)", "CDMPP (ms)", "CDMPP err", "Habitat (ms)",
+                        "Habitat err"});
+    std::vector<double> cerr, herr;
+    for (const std::string& name : nets) {
+      NetworkDef net = BuildNetworkByName(name);
+      NetworkSchedules scheds = ChooseSchedules(net, 88);
+      double truth = E2eGroundTruth(net, spec, scheds);
+      double pc = E2ePredicted(net, spec, scheds, [&](const CompactAst& ast, int dev) {
+        return cdmpp.PredictAst(ast, dev);
+      });
+      // Habitat predicts at the operator level (schedule-blind).
+      double ph = ReplayNetwork(net, spec, [&](const NetworkOp& op) {
+        return habitat.PredictTask(op.task, target);
+      });
+      cerr.push_back(std::abs(pc - truth) / truth);
+      herr.push_back(std::abs(ph - truth) / truth);
+      table.AddRow({name, FormatDouble(truth * 1e3, 3), FormatDouble(pc * 1e3, 3),
+                    FormatPercent(cerr.back(), 1), FormatDouble(ph * 1e3, 3),
+                    FormatPercent(herr.back(), 1)});
+    }
+    table.Print(stdout);
+    std::printf("Average: CDMPP %.1f%% vs Habitat %.1f%% (paper: 15.72%% vs 28.01%%).\n",
+                Mean(cerr) * 100.0, Mean(herr) * 100.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace cdmpp
+
+int main() { return cdmpp::Run(); }

@@ -1,0 +1,67 @@
+// Reproduces paper Fig. 13: effect of the fine-tuning sampling strategy for
+// CDPP. Target device T4, sources = other GPUs. For each budget of sampled
+// tasks kappa, fine-tune on the programs of the selected tasks profiled on
+// T4 and compare KMeans-based selection (Algorithm 1) against random
+// selection (averaged over repeats).
+#include <cstdio>
+
+#include "src/core/sampler.h"
+#include "src/exp/exp_common.h"
+#include "src/support/stats.h"
+
+namespace cdmpp {
+namespace {
+
+int Run() {
+  PrintBenchHeader("bench_fig13_sampling", "Fig. 13",
+                   "KMeans vs random task sampling for cross-device fine-tuning (target T4)");
+  Dataset ds = BuildBenchDataset({0, 1, 2, 3, 4});
+  const int target = 0;  // T4
+  std::vector<int> sources = {1, 2, 3, 4};
+  Rng rng(9000);
+  SplitIndices src = SplitDataset(ds, sources, {}, &rng);
+  SplitIndices tgt = SplitDataset(ds, {target}, {}, &rng);
+  std::vector<int> tgt_domain = Take(SamplesOnDevice(ds, target), 400);
+  std::vector<int> src_domain = Take(src.train, 400);
+
+  // Pre-train once on the source GPUs; every fine-tuning run restarts from
+  // this state, so the sweep isolates the effect of the sampling strategy.
+  CdmppPredictor predictor(BenchPredictorConfig(22));
+  predictor.Pretrain(ds, Take(src.train, 4000), {});
+  // Touch target samples once so the leaf-count heads exist before export.
+  predictor.Evaluate(ds, Take(tgt.test, 8));
+  std::vector<Matrix> pretrained = predictor.ExportParams();
+
+  auto finetune_and_eval = [&](const std::vector<int>& tasks) {
+    predictor.ImportParams(pretrained);
+    std::vector<int> target_labeled = SamplesForTasksOnDevice(ds, tasks, target);
+    std::vector<int> labeled = Take(src.train, 1500);
+    labeled.insert(labeled.end(), target_labeled.begin(), target_labeled.end());
+    predictor.Finetune(ds, labeled, src_domain, tgt_domain, 4);
+    return predictor.Evaluate(ds, tgt.test).mape;
+  };
+
+  TablePrinter table({"# sampled tasks", "KMeans sampling", "random sampling (avg of 3)"});
+  for (int kappa : {5, 15, 30, 60}) {
+    Rng krng(9100 + static_cast<uint64_t>(kappa));
+    double kmeans_mape = finetune_and_eval(SelectTasksKMeans(ds, kappa, &krng));
+    std::vector<double> random_mapes;
+    for (uint64_t rep = 0; rep < 3; ++rep) {
+      Rng rrng(9200 + static_cast<uint64_t>(kappa) * 10 + rep);
+      random_mapes.push_back(finetune_and_eval(SelectTasksRandom(ds, kappa, &rrng)));
+    }
+    table.AddRow({std::to_string(kappa), FormatPercent(kmeans_mape, 2),
+                  FormatPercent(Mean(random_mapes), 2)});
+    std::printf("[kappa=%d done]\n", kappa);
+    std::fflush(stdout);
+  }
+  table.Print(stdout);
+  std::printf("\nPaper's claims: KMeans sampling beats random at equal budgets, and the"
+              " error saturates beyond ~50 sampled tasks (Fig. 13).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace cdmpp
+
+int main() { return cdmpp::Run(); }

@@ -1,0 +1,123 @@
+// Micro-benchmarks (google-benchmark) for the pipeline's hot paths: schedule
+// generation + lowering, compact-AST feature extraction, device simulation,
+// cost-model inference, and one training step. Complements the §7.2
+// throughput comparison with per-component numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/ast/compact_ast.h"
+#include "src/core/predictor.h"
+#include "src/device/simulator.h"
+#include "src/exp/exp_common.h"
+#include "src/tir/schedule.h"
+
+namespace cdmpp {
+namespace {
+
+Task BenchTask() {
+  Task t;
+  t.kind = OpKind::kConv2d;
+  t.dims = {1, 64, 56, 56, 128, 3, 3};
+  t.fused_relu = true;
+  t.name = "bench_conv";
+  return t;
+}
+
+void BM_GenerateProgram(benchmark::State& state) {
+  Task task = BenchTask();
+  Rng rng(1);
+  ScheduleDesc sched = SampleSchedule(task, &rng);
+  for (auto _ : state) {
+    TensorProgram prog = GenerateProgram(task, sched);
+    benchmark::DoNotOptimize(prog.root);
+  }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_ExtractCompactAst(benchmark::State& state) {
+  Task task = BenchTask();
+  Rng rng(2);
+  TensorProgram prog = GenerateProgram(task, SampleSchedule(task, &rng));
+  for (auto _ : state) {
+    CompactAst ast = ExtractCompactAst(prog);
+    benchmark::DoNotOptimize(ast.leaves.data());
+  }
+}
+BENCHMARK(BM_ExtractCompactAst);
+
+void BM_SimulateLatency(benchmark::State& state) {
+  Task task = BenchTask();
+  Rng rng(3);
+  TensorProgram prog = GenerateProgram(task, SampleSchedule(task, &rng));
+  const DeviceSpec& dev = DeviceByName("V100");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimulateLatencyDeterministic(prog, dev));
+  }
+}
+BENCHMARK(BM_SimulateLatency);
+
+void BM_PositionalEncoding(benchmark::State& state) {
+  for (auto _ : state) {
+    for (int pos = 0; pos < 16; ++pos) {
+      benchmark::DoNotOptimize(PositionalEncoding(pos, 10000.0));
+    }
+  }
+}
+BENCHMARK(BM_PositionalEncoding);
+
+// Shared tiny fixture for the model-level benchmarks.
+struct PredictorFixture {
+  Dataset ds;
+  CdmppPredictor predictor;
+  CompactAst ast;
+
+  PredictorFixture() : ds(BuildSmall()), predictor(Config()) {
+    Rng rng(4);
+    SplitIndices split = SplitDataset(ds, {0}, {}, &rng);
+    predictor.Pretrain(ds, Take(split.train, 400), {});
+    ast = ds.programs[0].ast;
+  }
+  static Dataset BuildSmall() {
+    DatasetOptions opts;
+    opts.device_ids = {0};
+    opts.schedules_per_task = 2;
+    opts.max_networks = 6;
+    opts.seed = 9;
+    return BuildDataset(opts);
+  }
+  static PredictorConfig Config() {
+    PredictorConfig cfg;
+    cfg.epochs = 2;
+    cfg.seed = 10;
+    return cfg;
+  }
+  static PredictorFixture& Get() {
+    static PredictorFixture fixture;
+    return fixture;
+  }
+};
+
+void BM_CostModelInference(benchmark::State& state) {
+  PredictorFixture& f = PredictorFixture::Get();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.predictor.PredictAst(f.ast, 0));
+  }
+}
+BENCHMARK(BM_CostModelInference);
+
+void BM_DatasetBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    DatasetOptions opts;
+    opts.device_ids = {0};
+    opts.schedules_per_task = 2;
+    opts.max_networks = 4;
+    opts.seed = 11;
+    Dataset ds = BuildDataset(opts);
+    benchmark::DoNotOptimize(ds.samples.data());
+  }
+}
+BENCHMARK(BM_DatasetBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cdmpp
+
+BENCHMARK_MAIN();

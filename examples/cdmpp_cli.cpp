@@ -1,0 +1,88 @@
+// The paper's §6 command-line workflow:
+//
+//   $ cdmpp <network> <batch_size> <device>
+//
+// e.g.  ./build/examples/cdmpp_cli resnet50 1 V100
+//
+// Trains a small cross-device cost model on the fly (this repo keeps no
+// serialized checkpoints), dissects the network into tensor programs, queries
+// the predictor per program and replays the DFG to report the end-to-end
+// iteration latency on the requested device.
+#include <cstdio>
+#include <string>
+
+#include "src/core/predictor.h"
+#include "src/replay/e2e.h"
+
+using namespace cdmpp;
+
+namespace {
+
+// Maps the paper-style short names to zoo network names.
+std::string ResolveNetwork(const std::string& short_name, int batch_size) {
+  const std::string bs = "_bs" + std::to_string(batch_size);
+  if (short_name == "resnet50") {
+    return "resnet50" + bs + "_r224";
+  }
+  if (short_name == "resnet18") {
+    return "resnet18" + bs + "_r224";
+  }
+  if (short_name == "mobilenet_v2") {
+    return "mobilenet_v2_w100" + bs + "_r224";
+  }
+  if (short_name == "inception_v3") {
+    return "inception_v3" + bs + "_r224";
+  }
+  if (short_name == "vgg16") {
+    return "vgg16" + bs + "_r224";
+  }
+  if (short_name == "bert_tiny") {
+    return "bert_tiny" + bs + "_s128";
+  }
+  if (short_name == "bert_base") {
+    return "bert_base" + bs + "_s128";
+  }
+  return short_name;  // assume a full zoo name was given
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 4) {
+    std::fprintf(stderr,
+                 "usage: %s <network> <batch_size> <device>\n"
+                 "  network: resnet50 | resnet18 | mobilenet_v2 | inception_v3 | vgg16 |\n"
+                 "           bert_tiny | bert_base | <full zoo name>\n"
+                 "  device:  T4 | K80 | P100 | V100 | A100 | HL-100 | 'Intel E5-2673' |\n"
+                 "           'AMD EPYC 7452' | Graviton2\n",
+                 argv[0]);
+    return 1;
+  }
+  std::string network = ResolveNetwork(argv[1], std::atoi(argv[2]));
+  const DeviceSpec& device = DeviceByName(argv[3]);
+
+  std::printf("cdmpp: training the cost model (one-off; no checkpoint store)...\n");
+  DatasetOptions opts;
+  opts.device_ids = {0, 3, 7};  // profiled devices: T4, V100, EPYC
+  opts.schedules_per_task = 4;
+  opts.max_networks = 14;
+  opts.seed = 51;
+  Dataset ds = BuildDataset(opts);
+  Rng rng(52);
+  SplitIndices split = SplitDataset(ds, {}, {}, &rng);
+  PredictorConfig cfg;
+  cfg.epochs = 40;
+  CdmppPredictor predictor(cfg);
+  predictor.Pretrain(ds, split.train, split.valid);
+
+  NetworkDef net = BuildNetworkByName(network);
+  NetworkSchedules scheds = ChooseSchedules(net, 53);
+  double predicted = E2ePredicted(net, device, scheds, [&](const CompactAst& ast, int dev) {
+    return predictor.PredictAst(ast, dev);
+  });
+  std::printf("\n%s (batch %s) on %s: predicted iteration latency = %.3f ms"
+              " (%zu operators, %d execution queue(s))\n",
+              network.c_str(), argv[2], device.name.c_str(), predicted * 1e3, net.ops.size(),
+              ReplayQueues(device));
+  return 0;
+}

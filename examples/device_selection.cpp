@@ -1,0 +1,64 @@
+// Device selection — the paper's §2.2 "why cross-device?" motivation:
+// a developer choosing between renting a desktop GPU, server GPUs, CPUs or an
+// inference accelerator. We train one cross-device cost model, predict the
+// end-to-end latency of a network on every Table-2 device via the replayer,
+// and rank the devices — without "running" the model on most of them.
+//
+// Build & run:  ./build/examples/device_selection [network]
+#include <algorithm>
+#include <cstdio>
+
+#include "src/core/predictor.h"
+#include "src/replay/e2e.h"
+#include "src/support/table.h"
+
+using namespace cdmpp;
+
+int main(int argc, char** argv) {
+  std::string network = argc > 1 ? argv[1] : "resnet50_bs1_r224";
+
+  // Train one device-model-agnostic predictor on three "profiled" devices.
+  DatasetOptions opts;
+  opts.device_ids = {0, 3, 7};  // T4, V100, EPYC: the devices we have access to
+  opts.schedules_per_task = 4;
+  opts.max_networks = 14;
+  opts.seed = 21;
+  Dataset ds = BuildDataset(opts);
+  Rng rng(22);
+  SplitIndices split = SplitDataset(ds, {}, {}, &rng);
+  PredictorConfig cfg;
+  cfg.epochs = 40;
+  CdmppPredictor predictor(cfg);
+  std::printf("Training a cross-device cost model on T4 + V100 + EPYC traces...\n");
+  predictor.Pretrain(ds, split.train, split.valid);
+
+  NetworkDef net = BuildNetworkByName(network);
+  NetworkSchedules scheds = ChooseSchedules(net, 23);
+  std::printf("\nPredicted end-to-end latency of %s on every device:\n", network.c_str());
+
+  struct Row {
+    std::string device;
+    double predicted;
+    double simulated;
+  };
+  std::vector<Row> rows;
+  for (const DeviceSpec& spec : DeviceRegistry()) {
+    double predicted = E2ePredicted(net, spec, scheds, [&](const CompactAst& ast, int dev) {
+      return predictor.PredictAst(ast, dev);
+    });
+    double simulated = E2eGroundTruth(net, spec, scheds);
+    rows.push_back({spec.name, predicted, simulated});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.predicted < b.predicted; });
+
+  TablePrinter table({"rank", "device", "predicted (ms)", "simulated truth (ms)"});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table.AddRow({std::to_string(i + 1), rows[i].device, FormatDouble(rows[i].predicted * 1e3, 3),
+                  FormatDouble(rows[i].simulated * 1e3, 3)});
+  }
+  table.Print(stdout);
+  std::printf("\nThe ranking (not the absolute numbers) is what drives a rent-or-buy"
+              " decision; only 3 of the 9 devices were ever profiled.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: the five-minute tour of the CDMPP library.
+//
+//  1. Inspect the device registry (paper Table 2).
+//  2. Build a small dataset: tasks -> random schedules -> tensor programs ->
+//     compact ASTs -> simulated latencies.
+//  3. Pre-train the CDMPP cost model on one device.
+//  4. Query latencies of unseen tensor programs (the `cdmpp <network>
+//     <batch_size> <device>` workflow of paper §6).
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/predictor.h"
+#include "src/device/simulator.h"
+#include "src/support/table.h"
+#include "src/tir/schedule.h"
+
+using namespace cdmpp;
+
+int main() {
+  // --- 1. Device registry (Table 2). ---
+  std::printf("Devices (paper Table 2):\n");
+  TablePrinter devices({"device", "class", "clock (MHz)", "mem (GB)", "bw (GB/s)", "cores"});
+  for (const DeviceSpec& spec : DeviceRegistry()) {
+    devices.AddRow({spec.name, DeviceClassName(spec.cls), FormatDouble(spec.clock_mhz, 0),
+                    FormatDouble(spec.mem_gb, 0), FormatDouble(spec.mem_bw_gbps, 1),
+                    std::to_string(spec.cores)});
+  }
+  devices.Print(stdout);
+
+  // --- 2. Dataset: a slice of the model zoo on T4. ---
+  DatasetOptions opts;
+  opts.device_ids = {0};  // T4
+  opts.schedules_per_task = 4;
+  opts.max_networks = 12;
+  opts.seed = 1;
+  Dataset ds = BuildDataset(opts);
+  std::printf("\nDataset: %zu networks, %zu unique tasks, %zu programs, %zu samples\n",
+              ds.networks.size(), ds.tasks.size(), ds.programs.size(), ds.samples.size());
+
+  // Peek at one scheduled tensor program.
+  const TaskInfo& info = ds.tasks[2];
+  TensorProgram prog = GenerateProgram(info.task, ds.programs[static_cast<size_t>(
+                                                     info.program_indices[0])].schedule);
+  std::printf("\nExample scheduled tensor program:\n%s", ProgramToString(prog).c_str());
+
+  // --- 3. Train the cost model. ---
+  Rng rng(2);
+  SplitIndices split = SplitDataset(ds, {0}, {}, &rng);
+  PredictorConfig cfg;
+  cfg.epochs = 30;  // quick demo; benches train longer
+  CdmppPredictor predictor(cfg);
+  std::printf("\nPre-training CDMPP (%zu samples, %d epochs)...\n", split.train.size(),
+              cfg.epochs);
+  TrainStats stats = predictor.Pretrain(ds, split.train, split.valid);
+  EvalStats eval = predictor.Evaluate(ds, split.test);
+  std::printf("Done in %.1fs (%.0f samples/s). Test MAPE %.2f%%, 20%%-accuracy %.1f%%.\n",
+              stats.train_seconds, stats.throughput_samples_per_sec, eval.mape * 100.0,
+              eval.acc20 * 100.0);
+
+  // --- 4. Query latencies for fresh programs. ---
+  std::printf("\nPredicted vs simulated latency for fresh schedules of '%s':\n",
+              info.task.name.c_str());
+  TablePrinter preds({"schedule", "predicted (ms)", "simulated (ms)"});
+  Rng srng(3);
+  for (int i = 0; i < 4; ++i) {
+    ScheduleDesc sched = SampleSchedule(info.task, &srng);
+    TensorProgram candidate = GenerateProgram(info.task, sched);
+    double predicted = predictor.PredictAst(ExtractCompactAst(candidate), /*device_id=*/0);
+    double simulated = SimulateLatencyDeterministic(candidate, DeviceById(0));
+    preds.AddRow({"#" + std::to_string(i), FormatDouble(predicted * 1e3, 4),
+                  FormatDouble(simulated * 1e3, 4)});
+  }
+  preds.Print(stdout);
+  return 0;
+}

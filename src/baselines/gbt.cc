@@ -1,0 +1,220 @@
+#include "src/baselines/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+// Quantile bin edges for one feature column.
+std::vector<float> ComputeBinEdges(const Matrix& x, int feature, int max_bins) {
+  std::vector<float> values(static_cast<size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    values[static_cast<size_t>(i)] = x.At(i, feature);
+  }
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (static_cast<int>(values.size()) <= max_bins) {
+    // Midpoints between distinct values.
+    std::vector<float> edges;
+    for (size_t i = 0; i + 1 < values.size(); ++i) {
+      edges.push_back((values[i] + values[i + 1]) / 2.0f);
+    }
+    return edges;
+  }
+  std::vector<float> edges;
+  edges.reserve(static_cast<size_t>(max_bins) - 1);
+  for (int b = 1; b < max_bins; ++b) {
+    size_t idx = static_cast<size_t>(static_cast<double>(b) / max_bins *
+                                     static_cast<double>(values.size() - 1));
+    float e = values[idx];
+    if (edges.empty() || e > edges.back()) {
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+struct SplitDecision {
+  double gain = 0.0;
+  int feature = -1;
+  float threshold = 0.0;
+};
+
+}  // namespace
+
+void GradientBoostedTrees::Fit(const Matrix& x, const std::vector<double>& y, Rng* rng) {
+  CDMPP_CHECK(x.rows() == static_cast<int>(y.size()));
+  CDMPP_CHECK(x.rows() > 0);
+  trees_.clear();
+  round_rmse_.clear();
+
+  bin_edges_.clear();
+  bin_edges_.reserve(static_cast<size_t>(x.cols()));
+  for (int f = 0; f < x.cols(); ++f) {
+    bin_edges_.push_back(ComputeBinEdges(x, f, config_.max_bins));
+  }
+
+  double sum = 0.0;
+  for (double v : y) {
+    sum += v;
+  }
+  base_score_ = sum / static_cast<double>(y.size());
+
+  std::vector<double> pred(y.size(), base_score_);
+  std::vector<double> grad(y.size());
+  std::vector<double> hess(y.size(), 1.0);
+
+  for (int round = 0; round < config_.num_rounds; ++round) {
+    for (size_t i = 0; i < y.size(); ++i) {
+      grad[i] = pred[i] - y[i];  // squared-loss gradient
+    }
+    std::vector<int> rows;
+    rows.reserve(y.size());
+    for (int i = 0; i < x.rows(); ++i) {
+      if (rng == nullptr || config_.subsample >= 1.0 || rng->Bernoulli(config_.subsample)) {
+        rows.push_back(i);
+      }
+    }
+    if (rows.empty()) {
+      rows.push_back(0);
+    }
+    Tree tree = BuildTree(x, grad, hess, rows);
+    double rmse = 0.0;
+    for (int i = 0; i < x.rows(); ++i) {
+      pred[static_cast<size_t>(i)] +=
+          config_.learning_rate * PredictTree(tree, x.Row(i));
+      double d = pred[static_cast<size_t>(i)] - y[static_cast<size_t>(i)];
+      rmse += d * d;
+    }
+    round_rmse_.push_back(std::sqrt(rmse / static_cast<double>(y.size())));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+GradientBoostedTrees::Tree GradientBoostedTrees::BuildTree(const Matrix& x,
+                                                           const std::vector<double>& grad,
+                                                           const std::vector<double>& hess,
+                                                           const std::vector<int>& rows) {
+  Tree tree;
+  BuildNode(&tree, x, grad, hess, rows, 0);
+  return tree;
+}
+
+int GradientBoostedTrees::BuildNode(Tree* tree, const Matrix& x,
+                                    const std::vector<double>& grad,
+                                    const std::vector<double>& hess, std::vector<int> rows,
+                                    int depth) {
+  double g_total = 0.0;
+  double h_total = 0.0;
+  for (int r : rows) {
+    g_total += grad[static_cast<size_t>(r)];
+    h_total += hess[static_cast<size_t>(r)];
+  }
+  const double lambda = config_.reg_lambda;
+  auto leaf_score = [&](double g, double h) { return g * g / (h + lambda); };
+
+  int node_index = static_cast<int>(tree->nodes.size());
+  tree->nodes.emplace_back();
+
+  bool can_split = depth < config_.max_depth && rows.size() >= 2;
+  SplitDecision best;
+  if (can_split) {
+    double parent_score = leaf_score(g_total, h_total);
+    for (int f = 0; f < x.cols(); ++f) {
+      const std::vector<float>& edges = bin_edges_[static_cast<size_t>(f)];
+      if (edges.empty()) {
+        continue;
+      }
+      // Histogram of (G, H) per bin.
+      std::vector<double> g_bin(edges.size() + 1, 0.0);
+      std::vector<double> h_bin(edges.size() + 1, 0.0);
+      for (int r : rows) {
+        float v = x.At(r, f);
+        size_t b = static_cast<size_t>(
+            std::upper_bound(edges.begin(), edges.end(), v) - edges.begin());
+        g_bin[b] += grad[static_cast<size_t>(r)];
+        h_bin[b] += hess[static_cast<size_t>(r)];
+      }
+      double g_left = 0.0;
+      double h_left = 0.0;
+      for (size_t b = 0; b < edges.size(); ++b) {
+        g_left += g_bin[b];
+        h_left += h_bin[b];
+        double g_right = g_total - g_left;
+        double h_right = h_total - h_left;
+        if (h_left < config_.min_child_weight || h_right < config_.min_child_weight) {
+          continue;
+        }
+        double gain = leaf_score(g_left, h_left) + leaf_score(g_right, h_right) - parent_score;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.threshold = edges[b];
+        }
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.gain < config_.min_gain) {
+    tree->nodes[static_cast<size_t>(node_index)].value =
+        static_cast<float>(-g_total / (h_total + lambda));
+    return node_index;
+  }
+
+  std::vector<int> left_rows;
+  std::vector<int> right_rows;
+  for (int r : rows) {
+    if (x.At(r, best.feature) <= best.threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) {
+    tree->nodes[static_cast<size_t>(node_index)].value =
+        static_cast<float>(-g_total / (h_total + lambda));
+    return node_index;
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  int left = BuildNode(tree, x, grad, hess, std::move(left_rows), depth + 1);
+  int right = BuildNode(tree, x, grad, hess, std::move(right_rows), depth + 1);
+  Node& node = tree->nodes[static_cast<size_t>(node_index)];
+  node.feature = best.feature;
+  node.threshold = best.threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+float GradientBoostedTrees::PredictTree(const Tree& tree, const float* row) const {
+  int idx = 0;
+  while (tree.nodes[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& node = tree.nodes[static_cast<size_t>(idx)];
+    idx = row[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return tree.nodes[static_cast<size_t>(idx)].value;
+}
+
+double GradientBoostedTrees::PredictOne(const float* row) const {
+  double pred = base_score_;
+  for (const Tree& tree : trees_) {
+    pred += config_.learning_rate * PredictTree(tree, row);
+  }
+  return pred;
+}
+
+std::vector<double> GradientBoostedTrees::Predict(const Matrix& x) const {
+  std::vector<double> out(static_cast<size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) {
+    out[static_cast<size_t>(i)] = PredictOne(x.Row(i));
+  }
+  return out;
+}
+
+}  // namespace cdmpp

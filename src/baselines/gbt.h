@@ -1,0 +1,69 @@
+// Gradient-boosted regression trees — the XGBoost baseline of the paper's
+// evaluation (Figs. 6, 7, 9; AutoTVM's cost model). Second-order boosting
+// with squared loss (hessian = 1), histogram-based greedy splits, and
+// XGBoost-style gain with L2 leaf regularization.
+#ifndef SRC_BASELINES_GBT_H_
+#define SRC_BASELINES_GBT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/matrix.h"
+#include "src/support/rng.h"
+
+namespace cdmpp {
+
+struct GbtConfig {
+  int num_rounds = 120;
+  int max_depth = 6;
+  double learning_rate = 0.1;
+  double reg_lambda = 1.0;
+  double min_child_weight = 2.0;  // minimum hessian sum per child
+  double min_gain = 1e-6;
+  int max_bins = 32;
+  double subsample = 0.9;
+};
+
+class GradientBoostedTrees {
+ public:
+  explicit GradientBoostedTrees(const GbtConfig& config) : config_(config) {}
+
+  // Fits on rows of x with targets y (any scale; callers normalize).
+  void Fit(const Matrix& x, const std::vector<double>& y, Rng* rng);
+  std::vector<double> Predict(const Matrix& x) const;
+  double PredictOne(const float* row) const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  // Training loss (RMSE on the training set) after each boosting round;
+  // exposed so tests can assert monotone improvement.
+  const std::vector<double>& round_rmse() const { return round_rmse_; }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1 for leaves
+    float threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    float value = 0.0;     // leaf weight
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+  };
+
+  float PredictTree(const Tree& tree, const float* row) const;
+  Tree BuildTree(const Matrix& x, const std::vector<double>& grad,
+                 const std::vector<double>& hess, const std::vector<int>& rows);
+  // Recursive split; returns index of the created node.
+  int BuildNode(Tree* tree, const Matrix& x, const std::vector<double>& grad,
+                const std::vector<double>& hess, std::vector<int> rows, int depth);
+
+  GbtConfig config_;
+  double base_score_ = 0.0;
+  std::vector<Tree> trees_;
+  std::vector<std::vector<float>> bin_edges_;  // per feature
+  std::vector<double> round_rmse_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_BASELINES_GBT_H_

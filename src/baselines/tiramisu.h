@@ -1,0 +1,81 @@
+// Tiramisu-style recursive LSTM cost model (Baghdadi et al., MLSys'21), the
+// AST-based baseline of Figs. 6/7/9. The model aggregates an AST bottom-up:
+// leaf computation vectors are embedded by a feed-forward layer; each loop
+// node runs a shared LSTM over its children's embeddings and projects the
+// final state together with the loop's extent/annotation features.
+//
+// Because the recursion follows the AST structure, only programs with
+// identical structures could be batched; like the original, this
+// implementation processes one program per optimizer step, which is precisely
+// the training-throughput weakness the paper measures against.
+#ifndef SRC_BASELINES_TIRAMISU_H_
+#define SRC_BASELINES_TIRAMISU_H_
+
+#include <memory>
+
+#include "src/dataset/batching.h"
+#include "src/dataset/dataset.h"
+#include "src/ml/transforms.h"
+#include "src/nn/layers.h"
+#include "src/nn/optimizer.h"
+
+namespace cdmpp {
+
+struct TiramisuConfig {
+  int hidden_dim = 48;
+  double lr = 8e-4;
+  int epochs = 6;
+  uint64_t seed = 11;
+  int max_train_programs_per_epoch = 2500;  // caps the slow per-program loop
+};
+
+class TiramisuModel {
+ public:
+  explicit TiramisuModel(const TiramisuConfig& config);
+  ~TiramisuModel();
+
+  // Trains per-program (batch size 1, MAPE objective on normalized labels).
+  // Returns training throughput in samples/second.
+  double Fit(const Dataset& ds, const std::vector<int>& train);
+  // Predicted latencies in seconds.
+  std::vector<double> Predict(const Dataset& ds, const std::vector<int>& indices);
+
+  // Predicts a free-standing scheduled program (seconds).
+  double PredictProgram(const TensorProgram& prog);
+
+ private:
+  struct NodeCache;
+
+  // Forward pass over one program; fills the cache tree for BackpropProgram.
+  float ForwardProgram(const TensorProgram& prog);
+  // Backprop of d(loss)/d(output); must follow a matching ForwardProgram.
+  void BackpropProgram(float dout);
+
+  Matrix EmbedNode(const StmtNode& node, NodeCache* cache, NodeCache* root);
+  void BackpropNode(const StmtNode& node, NodeCache* cache, const Matrix& dh);
+
+  Matrix LeafForward(const ComputationVector& cv, NodeCache* cache);
+  void LeafBackward(NodeCache* cache, const Matrix& dh);
+  Matrix LoopProject(const Matrix& h, const Loop& loop, NodeCache* cache);
+  Matrix LoopProjectBackward(NodeCache* cache, const Matrix& dh);
+
+  void CollectParams(std::vector<Param*>* out);
+
+  TiramisuConfig config_;
+  Rng rng_;
+  Param w_leaf_, b_leaf_;
+  std::unique_ptr<LstmCell> lstm_;
+  Param w_loop_, b_loop_;
+  Param w_head_, b_head_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<LabelTransform> transform_;
+
+  // State of the last ForwardProgram, consumed by BackpropProgram.
+  std::unique_ptr<NodeCache> last_root_cache_;
+  Matrix last_root_h_;
+  const TensorProgram* last_prog_ = nullptr;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_BASELINES_TIRAMISU_H_

@@ -1,0 +1,72 @@
+#include "src/baselines/xgb_model.h"
+
+#include <chrono>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+Matrix XgbCostModel::FeatureMatrix(const Dataset& ds, const std::vector<int>& indices) const {
+  CDMPP_CHECK(!indices.empty());
+  const int agg_dim = kFeatDim + 2;
+  Matrix x(static_cast<int>(indices.size()), agg_dim + kDeviceFeatDim);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const Sample& s = ds.samples[static_cast<size_t>(indices[i])];
+    std::vector<float> agg =
+        AggregateFeatures(ds.programs[static_cast<size_t>(s.program_index)].ast);
+    std::vector<float> dev = ExtractDeviceFeatures(DeviceById(s.device_id));
+    float* row = x.Row(static_cast<int>(i));
+    for (int j = 0; j < agg_dim; ++j) {
+      row[j] = agg[static_cast<size_t>(j)];
+    }
+    for (int j = 0; j < kDeviceFeatDim; ++j) {
+      row[agg_dim + j] = dev[static_cast<size_t>(j)];
+    }
+  }
+  return x;
+}
+
+double XgbCostModel::Fit(const Dataset& ds, const std::vector<int>& train, Rng* rng) {
+  Matrix x = FeatureMatrix(ds, train);
+  std::vector<double> y = GatherLabels(ds, train);
+  for (double& v : y) {
+    v *= 1e3;  // ms
+  }
+  transform_ = MakeLabelTransform(NormKind::kBoxCox);
+  transform_->Fit(y);
+  std::vector<double> t = transform_->TransformAll(y);
+  auto start = std::chrono::steady_clock::now();
+  gbt_.Fit(x, t, rng);
+  auto end = std::chrono::steady_clock::now();
+  double secs = std::chrono::duration<double>(end - start).count();
+  return secs > 0.0 ? static_cast<double>(train.size()) * gbt_.num_trees() / secs : 0.0;
+}
+
+double XgbCostModel::PredictAst(const CompactAst& ast, int device_id) const {
+  CDMPP_CHECK(transform_ != nullptr);
+  const int agg_dim = kFeatDim + 2;
+  std::vector<float> row(static_cast<size_t>(agg_dim + kDeviceFeatDim));
+  std::vector<float> agg = AggregateFeatures(ast);
+  std::vector<float> dev = ExtractDeviceFeatures(DeviceById(device_id));
+  for (int j = 0; j < agg_dim; ++j) {
+    row[static_cast<size_t>(j)] = agg[static_cast<size_t>(j)];
+  }
+  for (int j = 0; j < kDeviceFeatDim; ++j) {
+    row[static_cast<size_t>(agg_dim + j)] = dev[static_cast<size_t>(j)];
+  }
+  return transform_->Inverse(gbt_.PredictOne(row.data())) / 1e3;
+}
+
+std::vector<double> XgbCostModel::Predict(const Dataset& ds,
+                                          const std::vector<int>& indices) const {
+  CDMPP_CHECK(transform_ != nullptr);
+  Matrix x = FeatureMatrix(ds, indices);
+  std::vector<double> t = gbt_.Predict(x);
+  std::vector<double> out(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    out[i] = transform_->Inverse(t[i]) / 1e3;  // back to seconds
+  }
+  return out;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,39 @@
+// XGBoost-style cost model over flattened compact-AST features (the AutoTVM
+// baseline of Figs. 6/7/9). Consumes per-program aggregate features plus
+// device features; labels are Box-Cox normalized like the main pipeline.
+#ifndef SRC_BASELINES_XGB_MODEL_H_
+#define SRC_BASELINES_XGB_MODEL_H_
+
+#include <memory>
+
+#include "src/baselines/gbt.h"
+#include "src/dataset/batching.h"
+#include "src/dataset/dataset.h"
+#include "src/ml/transforms.h"
+
+namespace cdmpp {
+
+class XgbCostModel {
+ public:
+  explicit XgbCostModel(const GbtConfig& config = GbtConfig()) : gbt_(config) {}
+
+  // Trains on the given sample indices. Returns training throughput
+  // (samples/second) for the paper's efficiency comparison.
+  double Fit(const Dataset& ds, const std::vector<int>& train, Rng* rng);
+
+  // Predicted latencies in seconds.
+  std::vector<double> Predict(const Dataset& ds, const std::vector<int>& indices) const;
+
+  // Predicts a free-standing compact AST on a device (replayer / search).
+  double PredictAst(const CompactAst& ast, int device_id) const;
+
+ private:
+  Matrix FeatureMatrix(const Dataset& ds, const std::vector<int>& indices) const;
+
+  GradientBoostedTrees gbt_;
+  std::unique_ptr<LabelTransform> transform_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_BASELINES_XGB_MODEL_H_

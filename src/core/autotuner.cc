@@ -1,0 +1,53 @@
+#include "src/core/autotuner.h"
+
+namespace cdmpp {
+
+PredictorConfig SampleConfig(Rng* rng) {
+  PredictorConfig cfg;
+  const std::vector<int> d_models = {32, 48, 64, 96};
+  const std::vector<int> layers = {1, 2, 3};
+  const std::vector<int> heads = {2, 4};
+  const std::vector<int> z_dims = {32, 64, 96};
+  const std::vector<int> dec_hidden = {32, 64, 96};
+  const std::vector<int> batch_sizes = {32, 64, 128};
+
+  cfg.d_model = rng->Choice(d_models);
+  cfg.num_heads = rng->Choice(heads);
+  cfg.d_ff = cfg.d_model * 2;
+  cfg.num_layers = rng->Choice(layers);
+  cfg.z_dim = rng->Choice(z_dims);
+  int dh = rng->Choice(dec_hidden);
+  cfg.decoder_hidden = rng->Bernoulli(0.5) ? std::vector<int>{dh} : std::vector<int>{dh, dh};
+  cfg.batch_size = rng->Choice(batch_sizes);
+
+  cfg.optimizer = rng->Bernoulli(0.8) ? OptimizerKind::kAdam : OptimizerKind::kSgd;
+  cfg.lr = std::pow(10.0, rng->Uniform(-3.8, -2.3));
+  cfg.max_lr = cfg.lr * rng->Uniform(1.5, 4.0);
+  cfg.use_cyclic_lr = rng->Bernoulli(0.7);
+  cfg.weight_decay = std::pow(10.0, rng->Uniform(-5.0, -2.5));
+  cfg.lambda_mape = rng->Uniform(0.05, 0.5);
+  cfg.alpha_cmd = rng->Uniform(0.1, 1.0);
+  cfg.seed = rng->engine()();
+  return cfg;
+}
+
+AutotuneResult Autotune(const Dataset& ds, const std::vector<int>& train,
+                        const std::vector<int>& valid, const AutotuneOptions& opts) {
+  Rng rng(opts.seed);
+  AutotuneResult result;
+  for (int t = 0; t < opts.num_trials; ++t) {
+    AutotuneTrial trial;
+    trial.config = SampleConfig(&rng);
+    trial.config.epochs = opts.epochs_per_trial;
+    CdmppPredictor predictor(trial.config);
+    TrainStats stats = predictor.Pretrain(ds, train, valid);
+    trial.valid_mape = stats.final_valid.mape;
+    if (trial.valid_mape < result.best.valid_mape) {
+      result.best = trial;
+    }
+    result.trials.push_back(std::move(trial));
+  }
+  return result;
+}
+
+}  // namespace cdmpp

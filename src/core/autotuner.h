@@ -1,0 +1,38 @@
+// Auto-tuner (paper §5.3 "NAS and Automatic hyper-parameter tuning"):
+// random search over the architecture/hyper-parameter space of Appendix B,
+// scoring each trial by short-training validation MAPE. The paper uses
+// Optuna with ~1000 trials; here the trial budget is configurable and the
+// search strategy is plain random sampling, which reproduces the workflow.
+#ifndef SRC_CORE_AUTOTUNER_H_
+#define SRC_CORE_AUTOTUNER_H_
+
+#include "src/core/predictor.h"
+
+namespace cdmpp {
+
+struct AutotuneOptions {
+  int num_trials = 12;
+  int epochs_per_trial = 6;
+  uint64_t seed = 1234;
+};
+
+struct AutotuneTrial {
+  PredictorConfig config;
+  double valid_mape = 1e30;
+};
+
+struct AutotuneResult {
+  AutotuneTrial best;
+  std::vector<AutotuneTrial> trials;
+};
+
+// Samples one configuration from the search space of Appendix B.
+PredictorConfig SampleConfig(Rng* rng);
+
+// Runs the search on the given train/valid split.
+AutotuneResult Autotune(const Dataset& ds, const std::vector<int>& train,
+                        const std::vector<int>& valid, const AutotuneOptions& opts);
+
+}  // namespace cdmpp
+
+#endif  // SRC_CORE_AUTOTUNER_H_

@@ -1,0 +1,517 @@
+#include "src/core/predictor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "src/ml/cmd.h"
+#include "src/ml/transforms.h"
+#include "src/support/check.h"
+#include "src/support/stats.h"
+
+namespace cdmpp {
+
+namespace {
+
+constexpr double kSecondsToMs = 1e3;
+
+// Transformed labels live in a standardized band around kLabelShift; clamping
+// extrapolated predictions keeps the (exponential-tailed) inverse Box-Cox
+// from exploding on an undertrained model.
+double ClampTransformed(double t) {
+  return std::clamp(t, kLabelShift - 6.0, kLabelShift + 6.0);
+}
+
+// Reshapes [B*L, D] <-> [B, L*D] (row-major, so this is a pure view change).
+Matrix PackRows(const Matrix& x, int batch, int seq_len) {
+  CDMPP_CHECK(x.rows() == batch * seq_len);
+  Matrix out(batch, seq_len * x.cols());
+  for (int b = 0; b < batch; ++b) {
+    float* dst = out.Row(b);
+    for (int t = 0; t < seq_len; ++t) {
+      const float* src = x.Row(b * seq_len + t);
+      for (int j = 0; j < x.cols(); ++j) {
+        dst[t * x.cols() + j] = src[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix UnpackRows(const Matrix& x, int seq_len, int d_model) {
+  CDMPP_CHECK(x.cols() == seq_len * d_model);
+  Matrix out(x.rows() * seq_len, d_model);
+  for (int b = 0; b < x.rows(); ++b) {
+    const float* src = x.Row(b);
+    for (int t = 0; t < seq_len; ++t) {
+      float* dst = out.Row(b * seq_len + t);
+      for (int j = 0; j < d_model; ++j) {
+        dst[j] = src[t * d_model + j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CdmppPredictor::CdmppPredictor(const PredictorConfig& config)
+    : config_(config), rng_(config.seed) {
+  input_proj_ = std::make_unique<Linear>(kFeatDim, config_.d_model, &rng_);
+  encoder_ = std::make_unique<TransformerEncoder>(config_.d_model, config_.num_heads,
+                                                  config_.d_ff, config_.num_layers, &rng_);
+  device_mlp_ = std::make_unique<Mlp>(
+      std::vector<int>{kDeviceFeatDim, config_.device_hidden_dim, config_.device_embed_dim},
+      &rng_);
+  std::vector<int> dec_dims;
+  dec_dims.push_back(config_.z_dim + config_.device_embed_dim);
+  for (int h : config_.decoder_hidden) {
+    dec_dims.push_back(h);
+  }
+  dec_dims.push_back(1);
+  decoder_ = std::make_unique<Mlp>(dec_dims, &rng_);
+}
+
+void CdmppPredictor::CollectAllParams(std::vector<Param*>* out) {
+  input_proj_->CollectParams(out);
+  encoder_->CollectParams(out);
+  for (auto& [leaves, head] : leaf_heads_) {
+    head->CollectParams(out);
+  }
+  device_mlp_->CollectParams(out);
+  decoder_->CollectParams(out);
+}
+
+size_t CdmppPredictor::NumParams() {
+  std::vector<Param*> params;
+  CollectAllParams(&params);
+  size_t n = 0;
+  for (Param* p : params) {
+    n += p->value.size();
+  }
+  return n;
+}
+
+void CdmppPredictor::EnsureHeads(const Dataset& ds, const std::vector<int>& indices) {
+  bool added = false;
+  for (const auto& [leaves, _] : GroupByLeafCount(ds, indices)) {
+    if (leaf_heads_.find(leaves) == leaf_heads_.end()) {
+      leaf_heads_[leaves] =
+          std::make_unique<Linear>(leaves * config_.d_model, config_.z_dim, &rng_);
+      added = true;
+    }
+  }
+  if (added || optimizer_ == nullptr) {
+    RebuildOptimizer();
+  }
+}
+
+void CdmppPredictor::RebuildOptimizer() {
+  std::vector<Param*> params;
+  CollectAllParams(&params);
+  if (config_.optimizer == OptimizerKind::kAdam) {
+    optimizer_ = std::make_unique<Adam>(std::move(params), config_.lr, config_.weight_decay);
+  } else {
+    optimizer_ = std::make_unique<Sgd>(std::move(params), config_.lr);
+  }
+  if (config_.use_cyclic_lr) {
+    scheduler_ =
+        std::make_unique<CyclicLr>(config_.lr, config_.max_lr, config_.cyclic_half_cycle);
+  } else {
+    scheduler_ = std::make_unique<ConstantLr>(config_.lr);
+  }
+}
+
+CdmppPredictor::BatchForward CdmppPredictor::Forward(const Dataset& ds, const Batch& batch) {
+  const int b = static_cast<int>(batch.sample_indices.size());
+  const int l = batch.seq_len;
+  cached_seq_len_ = l;
+  cached_batch_size_ = b;
+
+  Matrix x = BuildFeatureMatrix(ds, batch, scaler_.fitted() ? &scaler_ : nullptr,
+                                config_.use_pe, config_.pe_theta);
+  Matrix h = encoder_->Forward(input_proj_->Forward(x), l);
+  auto head_it = leaf_heads_.find(l);
+  CDMPP_CHECK_MSG(head_it != leaf_heads_.end(), "no head for this leaf count");
+  Matrix zx = head_it->second->Forward(PackRows(h, b, l));
+  cached_zx_ = zx;
+
+  Matrix zv = device_mlp_->Forward(BuildDeviceFeatureMatrix(ds, batch));
+
+  BatchForward out;
+  out.z = Matrix(b, config_.z_dim + config_.device_embed_dim);
+  for (int i = 0; i < b; ++i) {
+    float* row = out.z.Row(i);
+    for (int j = 0; j < config_.z_dim; ++j) {
+      row[j] = zx.At(i, j);
+    }
+    for (int j = 0; j < config_.device_embed_dim; ++j) {
+      row[config_.z_dim + j] = zv.At(i, j);
+    }
+  }
+  out.preds = decoder_->Forward(out.z);
+  return out;
+}
+
+void CdmppPredictor::Backward(const Batch& batch, const Matrix& dpred,
+                              const Matrix& dz_extra) {
+  const int b = cached_batch_size_;
+  const int l = cached_seq_len_;
+  Matrix dz;
+  if (!dpred.empty()) {
+    dz = decoder_->Backward(dpred);
+  } else {
+    dz = Matrix(b, config_.z_dim + config_.device_embed_dim);
+  }
+  if (!dz_extra.empty()) {
+    dz.AddInPlace(dz_extra);
+  }
+
+  Matrix dzx(b, config_.z_dim);
+  Matrix dzv(b, config_.device_embed_dim);
+  for (int i = 0; i < b; ++i) {
+    const float* row = dz.Row(i);
+    for (int j = 0; j < config_.z_dim; ++j) {
+      dzx.At(i, j) = row[j];
+    }
+    for (int j = 0; j < config_.device_embed_dim; ++j) {
+      dzv.At(i, j) = row[config_.z_dim + j];
+    }
+  }
+  device_mlp_->Backward(dzv);
+  Matrix dh_flat = leaf_heads_.at(l)->Backward(dzx);
+  Matrix dh = UnpackRows(dh_flat, l, config_.d_model);
+  input_proj_->Backward(encoder_->Backward(dh));
+}
+
+void CdmppPredictor::ClipGradients() {
+  if (config_.grad_clip <= 0.0) {
+    return;
+  }
+  std::vector<Param*> params;
+  CollectAllParams(&params);
+  double norm_sq = 0.0;
+  for (Param* p : params) {
+    norm_sq += p->grad.SquaredNorm();
+  }
+  double norm = std::sqrt(norm_sq);
+  if (norm > config_.grad_clip) {
+    float scale = static_cast<float>(config_.grad_clip / norm);
+    for (Param* p : params) {
+      p->grad.Scale(scale);
+    }
+  }
+}
+
+std::vector<Matrix> CdmppPredictor::SnapshotParams() {
+  std::vector<Param*> params;
+  CollectAllParams(&params);
+  std::vector<Matrix> snapshot;
+  snapshot.reserve(params.size());
+  for (Param* p : params) {
+    snapshot.push_back(p->value);
+  }
+  return snapshot;
+}
+
+void CdmppPredictor::RestoreParams(const std::vector<Matrix>& snapshot) {
+  std::vector<Param*> params;
+  CollectAllParams(&params);
+  CDMPP_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = snapshot[i];
+  }
+}
+
+std::vector<Matrix> CdmppPredictor::ExportParams() { return SnapshotParams(); }
+
+void CdmppPredictor::ImportParams(const std::vector<Matrix>& params) {
+  RestoreParams(params);
+}
+
+TrainStats CdmppPredictor::Pretrain(const Dataset& ds, const std::vector<int>& train,
+                                    const std::vector<int>& valid) {
+  CDMPP_CHECK(!train.empty());
+  EnsureHeads(ds, train);
+  if (!valid.empty()) {
+    EnsureHeads(ds, valid);
+  }
+  scaler_.Fit(StackLeafRows(ds, train));
+  label_transform_ = MakeLabelTransform(config_.norm);
+  std::vector<double> labels_ms = GatherLabels(ds, train);
+  for (double& y : labels_ms) {
+    y *= kSecondsToMs;
+  }
+  label_transform_->Fit(labels_ms);
+  fitted_ = true;
+  return RunTraining(ds, train, valid, config_.epochs, /*alpha=*/0.0, {}, {});
+}
+
+TrainStats CdmppPredictor::Finetune(const Dataset& ds, const std::vector<int>& labeled,
+                                    const std::vector<int>& source_domain,
+                                    const std::vector<int>& target_domain, int epochs) {
+  CDMPP_CHECK(fitted_);
+  std::vector<int> all = labeled;
+  all.insert(all.end(), source_domain.begin(), source_domain.end());
+  all.insert(all.end(), target_domain.begin(), target_domain.end());
+  EnsureHeads(ds, all);
+
+  // Fine-tuning perturbs a converged model: drop to a small constant LR and
+  // keep the best parameters seen on a held-out slice of the labeled set.
+  std::vector<int> train = labeled;
+  rng_.Shuffle(&train);
+  size_t n_valid = std::max<size_t>(1, train.size() / 10);
+  std::vector<int> valid(train.end() - static_cast<long>(n_valid), train.end());
+  train.resize(train.size() - n_valid);
+
+  auto saved_scheduler = std::move(scheduler_);
+  scheduler_ = std::make_unique<ConstantLr>(config_.lr * 0.4);
+  TrainStats stats =
+      RunTraining(ds, train, valid, epochs, config_.alpha_cmd, source_domain, target_domain);
+  scheduler_ = std::move(saved_scheduler);
+  return stats;
+}
+
+TrainStats CdmppPredictor::RunTraining(const Dataset& ds, const std::vector<int>& train,
+                                       const std::vector<int>& valid, int epochs, double alpha,
+                                       const std::vector<int>& source_domain,
+                                       const std::vector<int>& target_domain) {
+  TrainStats stats;
+  auto buckets = GroupByLeafCount(ds, train);
+
+  // Pre-transform all labels once.
+  std::vector<float> transformed(ds.samples.size(), 0.0f);
+  for (int idx : train) {
+    double y_ms = ds.samples[static_cast<size_t>(idx)].latency_seconds * kSecondsToMs;
+    transformed[static_cast<size_t>(idx)] = static_cast<float>(label_transform_->Transform(y_ms));
+  }
+
+  // Domain batches for the CMD regularizer.
+  std::map<int, std::vector<int>> src_buckets;
+  std::map<int, std::vector<int>> tgt_buckets;
+  if (alpha > 0.0) {
+    src_buckets = GroupByLeafCount(ds, source_domain);
+    tgt_buckets = GroupByLeafCount(ds, target_domain);
+  }
+
+  double best_valid_mape = 1e30;
+  std::vector<Matrix> best_params;
+  size_t samples_seen = 0;
+  auto start = std::chrono::steady_clock::now();
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    std::vector<Batch> batches = MakeBatches(buckets, config_.batch_size, &rng_);
+    std::vector<Batch> src_batches;
+    std::vector<Batch> tgt_batches;
+    if (alpha > 0.0) {
+      src_batches = MakeBatches(src_buckets, config_.batch_size, &rng_);
+      tgt_batches = MakeBatches(tgt_buckets, config_.batch_size, &rng_);
+    }
+    double epoch_loss = 0.0;
+    size_t step_in_epoch = 0;
+    for (const Batch& batch : batches) {
+      optimizer_->set_learning_rate(scheduler_->LrAt(global_step_));
+      // Zero all grads.
+      std::vector<Param*> params;
+      CollectAllParams(&params);
+      for (Param* p : params) {
+        p->grad.Zero();
+      }
+
+      // ---- Prediction loss pass. ----
+      BatchForward fwd = Forward(ds, batch);
+      std::vector<float> preds(batch.sample_indices.size());
+      std::vector<float> targets(batch.sample_indices.size());
+      for (size_t i = 0; i < batch.sample_indices.size(); ++i) {
+        preds[i] = fwd.preds.At(static_cast<int>(i), 0);
+        targets[i] = transformed[static_cast<size_t>(batch.sample_indices[i])];
+      }
+      LossResult loss = ComputeLoss(config_.loss, preds, targets, config_.lambda_mape);
+      Matrix dpred(static_cast<int>(preds.size()), 1);
+      for (size_t i = 0; i < preds.size(); ++i) {
+        dpred.At(static_cast<int>(i), 0) = loss.grad[i];
+      }
+      Backward(batch, dpred, Matrix());
+      double step_loss = loss.value;
+
+      // ---- CMD regularizer pass (one side per step, alternating). ----
+      if (alpha > 0.0 && !src_batches.empty() && !tgt_batches.empty()) {
+        bool update_source = (step_in_epoch % 2) == 0;
+        const Batch& const_batch =
+            update_source ? tgt_batches[step_in_epoch % tgt_batches.size()]
+                          : src_batches[step_in_epoch % src_batches.size()];
+        const Batch& grad_batch =
+            update_source ? src_batches[step_in_epoch % src_batches.size()]
+                          : tgt_batches[step_in_epoch % tgt_batches.size()];
+        // Constant side first (its caches are overwritten by the grad side).
+        Matrix z_const = Forward(ds, const_batch).z;
+        BatchForward grad_fwd = Forward(ds, grad_batch);
+        Matrix dz(grad_fwd.z.rows(), grad_fwd.z.cols());
+        Matrix dz_const(z_const.rows(), z_const.cols());
+        double cmd = CmdDistanceWithGrad(grad_fwd.z, z_const, config_.cmd_moments,
+                                         /*span=*/-1.0, alpha, &dz, &dz_const);
+        Backward(grad_batch, Matrix(), dz);
+        step_loss += alpha * cmd;
+      }
+
+      ClipGradients();
+      optimizer_->Step();
+      ++global_step_;
+      ++step_in_epoch;
+      samples_seen += batch.sample_indices.size();
+      epoch_loss += step_loss;
+    }
+    stats.epoch_train_loss.push_back(epoch_loss / std::max<size_t>(1, batches.size()));
+
+    if (!valid.empty()) {
+      EvalStats v = Evaluate(ds, valid);
+      stats.epoch_valid_mape.push_back(v.mape);
+      if (v.mape < best_valid_mape) {
+        best_valid_mape = v.mape;
+        best_params = SnapshotParams();
+      }
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  stats.train_seconds = std::chrono::duration<double>(end - start).count();
+  stats.throughput_samples_per_sec =
+      stats.train_seconds > 0.0 ? static_cast<double>(samples_seen) / stats.train_seconds : 0.0;
+
+  if (!best_params.empty()) {
+    RestoreParams(best_params);
+  }
+  if (!valid.empty()) {
+    stats.final_valid = Evaluate(ds, valid);
+  }
+  return stats;
+}
+
+std::vector<double> CdmppPredictor::Predict(const Dataset& ds, const std::vector<int>& indices) {
+  CDMPP_CHECK(fitted_);
+  EnsureHeads(ds, indices);
+  std::vector<double> out(indices.size(), 0.0);
+  // Position of each sample index within `indices` (indices may repeat).
+  std::map<int, std::vector<size_t>> positions;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    positions[indices[i]].push_back(i);
+  }
+  auto buckets = GroupByLeafCount(ds, indices);
+  std::vector<Batch> batches = MakeBatches(buckets, config_.batch_size, /*rng=*/nullptr);
+  for (const Batch& batch : batches) {
+    BatchForward fwd = Forward(ds, batch);
+    for (size_t i = 0; i < batch.sample_indices.size(); ++i) {
+      double pred_ms = label_transform_->Inverse(
+          ClampTransformed(static_cast<double>(fwd.preds.At(static_cast<int>(i), 0))));
+      for (size_t pos : positions[batch.sample_indices[i]]) {
+        out[pos] = pred_ms / kSecondsToMs;
+      }
+    }
+  }
+  return out;
+}
+
+double CdmppPredictor::PredictAst(const CompactAst& ast, int device_id) {
+  CDMPP_CHECK(fitted_);
+  const int l = ast.num_leaves;
+  CDMPP_CHECK(l > 0);
+  if (leaf_heads_.find(l) == leaf_heads_.end()) {
+    leaf_heads_[l] = std::make_unique<Linear>(l * config_.d_model, config_.z_dim, &rng_);
+    RebuildOptimizer();
+  }
+  Matrix x(l, kFeatDim);
+  for (int t = 0; t < l; ++t) {
+    float* row = x.Row(t);
+    const ComputationVector& cv = ast.leaves[static_cast<size_t>(t)];
+    for (int j = 0; j < kFeatDim; ++j) {
+      row[j] = cv[static_cast<size_t>(j)];
+    }
+    scaler_.ApplyRow(row);
+    if (config_.use_pe) {
+      ComputationVector pe =
+          PositionalEncoding(ast.ordering[static_cast<size_t>(t)], config_.pe_theta);
+      for (int j = 0; j < kFeatDim; ++j) {
+        row[j] += pe[static_cast<size_t>(j)];
+      }
+    }
+  }
+  Matrix h = encoder_->Forward(input_proj_->Forward(x), l);
+  Matrix zx = leaf_heads_.at(l)->Forward(PackRows(h, 1, l));
+  std::vector<float> dev = ExtractDeviceFeatures(DeviceById(device_id));
+  Matrix v(1, kDeviceFeatDim);
+  for (int j = 0; j < kDeviceFeatDim; ++j) {
+    v.At(0, j) = dev[static_cast<size_t>(j)];
+  }
+  Matrix zv = device_mlp_->Forward(v);
+  Matrix z(1, config_.z_dim + config_.device_embed_dim);
+  for (int j = 0; j < config_.z_dim; ++j) {
+    z.At(0, j) = zx.At(0, j);
+  }
+  for (int j = 0; j < config_.device_embed_dim; ++j) {
+    z.At(0, config_.z_dim + j) = zv.At(0, j);
+  }
+  double pred_ms = label_transform_->Inverse(
+      ClampTransformed(static_cast<double>(decoder_->Forward(z).At(0, 0))));
+  return pred_ms / kSecondsToMs;
+}
+
+double CdmppPredictor::PredictProgram(const Dataset& ds, int program_index, int device_id) {
+  // Locate (or synthesize) a sample row for this (program, device) pair.
+  for (size_t i = 0; i < ds.samples.size(); ++i) {
+    if (ds.samples[i].program_index == program_index && ds.samples[i].device_id == device_id) {
+      return Predict(ds, {static_cast<int>(i)})[0];
+    }
+  }
+  CDMPP_CHECK_MSG(false, "no sample for (program, device); build the dataset with this device");
+  __builtin_unreachable();
+}
+
+EvalStats CdmppPredictor::Evaluate(const Dataset& ds, const std::vector<int>& indices) {
+  EvalStats stats;
+  if (indices.empty()) {
+    return stats;
+  }
+  std::vector<double> pred = Predict(ds, indices);
+  std::vector<double> truth;
+  truth.reserve(indices.size());
+  for (int idx : indices) {
+    truth.push_back(ds.samples[static_cast<size_t>(idx)].latency_seconds);
+  }
+  std::vector<double> pred_ms(pred.size());
+  std::vector<double> truth_ms(truth.size());
+  for (size_t i = 0; i < pred.size(); ++i) {
+    pred_ms[i] = pred[i] * kSecondsToMs;
+    truth_ms[i] = truth[i] * kSecondsToMs;
+  }
+  stats.mape = Mape(pred_ms, truth_ms);
+  stats.rmse_ms = Rmse(pred_ms, truth_ms);
+  stats.acc20 = AccuracyWithin(pred_ms, truth_ms, 0.2);
+  stats.acc10 = AccuracyWithin(pred_ms, truth_ms, 0.1);
+  stats.acc5 = AccuracyWithin(pred_ms, truth_ms, 0.05);
+  stats.count = static_cast<int>(indices.size());
+  return stats;
+}
+
+Matrix CdmppPredictor::EncodeLatent(const Dataset& ds, const std::vector<int>& indices) {
+  CDMPP_CHECK(fitted_);
+  EnsureHeads(ds, indices);
+  Matrix out(static_cast<int>(indices.size()), config_.z_dim + config_.device_embed_dim);
+  std::map<int, std::vector<size_t>> positions;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    positions[indices[i]].push_back(i);
+  }
+  auto buckets = GroupByLeafCount(ds, indices);
+  std::vector<Batch> batches = MakeBatches(buckets, config_.batch_size, /*rng=*/nullptr);
+  for (const Batch& batch : batches) {
+    BatchForward fwd = Forward(ds, batch);
+    for (size_t i = 0; i < batch.sample_indices.size(); ++i) {
+      for (size_t pos : positions[batch.sample_indices[i]]) {
+        for (int j = 0; j < out.cols(); ++j) {
+          out.At(static_cast<int>(pos), j) = fwd.z.At(static_cast<int>(i), j);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cdmpp

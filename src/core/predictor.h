@@ -1,0 +1,174 @@
+// The CDMPP cost model (paper Fig. 4, §5):
+//
+//   compact AST x --(+PE)--> input Linear --> Transformer encoder
+//     --> per-leaf-count Linear head --> z_x
+//   device features v --> MLP --> z_v
+//   z = z_x (+) z_v --> decoder MLP --> predicted (transformed) latency
+//
+// Training: pre-training with the scale-insensitive hybrid objective
+// (§5.2, Eqn. 3) on Box-Cox-normalized labels (§5.4); fine-tuning adds the
+// CMD regularizer between source- and target-domain latents (§5.3, Eqn. 7).
+#ifndef SRC_CORE_PREDICTOR_H_
+#define SRC_CORE_PREDICTOR_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/dataset/batching.h"
+#include "src/dataset/dataset.h"
+#include "src/ml/transforms.h"
+#include "src/nn/loss.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/transformer.h"
+
+namespace cdmpp {
+
+enum class OptimizerKind { kAdam, kSgd };
+
+struct PredictorConfig {
+  // Architecture (searched by the auto-tuner; defaults are its result).
+  int d_model = 64;
+  int num_heads = 4;
+  int d_ff = 128;
+  int num_layers = 2;
+  int z_dim = 64;
+  int device_embed_dim = 16;
+  int device_hidden_dim = 32;
+  std::vector<int> decoder_hidden = {64, 64};
+
+  // Optimization.
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  double lr = 5e-4;
+  double max_lr = 1.2e-3;  // CyclicLR ceiling
+  bool use_cyclic_lr = true;
+  int cyclic_half_cycle = 150;
+  double weight_decay = 3e-5;
+  double grad_clip = 0.5;
+  int batch_size = 96;
+  int epochs = 80;
+
+  // Objective (paper §5.2/§5.4).
+  LossKind loss = LossKind::kHybrid;
+  double lambda_mape = 0.15;  // hybrid MAPE coefficient in transformed space
+  NormKind norm = NormKind::kBoxCox;
+
+  // Features.
+  bool use_pe = true;
+  double pe_theta = 10000.0;
+
+  // Fine-tuning (paper §5.3).
+  double alpha_cmd = 0.3;
+  int cmd_moments = 5;
+
+  uint64_t seed = 7;
+};
+
+struct EvalStats {
+  double mape = 0.0;
+  double rmse_ms = 0.0;
+  double acc20 = 0.0;  // fraction within 20% relative error
+  double acc10 = 0.0;
+  double acc5 = 0.0;
+  int count = 0;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_train_loss;
+  std::vector<double> epoch_valid_mape;
+  double throughput_samples_per_sec = 0.0;
+  double train_seconds = 0.0;
+  EvalStats final_valid;
+};
+
+class CdmppPredictor {
+ public:
+  explicit CdmppPredictor(const PredictorConfig& config);
+
+  // Pre-trains on `train` sample indices (fits the feature scaler and label
+  // transform on them); tracks MAPE on `valid`. Keeps the best-validation
+  // parameters.
+  TrainStats Pretrain(const Dataset& ds, const std::vector<int>& train,
+                      const std::vector<int>& valid);
+
+  // CMD-regularized fine-tuning (Eqn. 7): trains the prediction loss on
+  // `labeled` samples while minimizing CMD between latents of `source_domain`
+  // and `target_domain` batches. Target labels are never used unless they
+  // appear in `labeled`.
+  TrainStats Finetune(const Dataset& ds, const std::vector<int>& labeled,
+                      const std::vector<int>& source_domain,
+                      const std::vector<int>& target_domain, int epochs);
+
+  // Predicted latencies in seconds (inverse-transformed).
+  std::vector<double> Predict(const Dataset& ds, const std::vector<int>& indices);
+  // Predicts a single program (by dataset program index) on a device.
+  double PredictProgram(const Dataset& ds, int program_index, int device_id);
+  // Predicts a free-standing compact AST on a device (used by the replayer
+  // and the schedule-search integration). A head for the AST's leaf count is
+  // created on demand if training never saw that count.
+  double PredictAst(const CompactAst& ast, int device_id);
+
+  EvalStats Evaluate(const Dataset& ds, const std::vector<int>& indices);
+
+  // Latent representations z = z_x (+) z_v, one row per sample.
+  Matrix EncodeLatent(const Dataset& ds, const std::vector<int>& indices);
+
+  const PredictorConfig& config() const { return config_; }
+  size_t NumParams();
+
+  // Snapshots / restores all trainable parameters (used by experiments that
+  // fine-tune several times from one pre-trained state). Import requires the
+  // same architecture and head set as at export time.
+  std::vector<Matrix> ExportParams();
+  void ImportParams(const std::vector<Matrix>& params);
+
+ private:
+  struct BatchForward {
+    Matrix z;      // [B, z_dim + device_embed_dim]
+    Matrix preds;  // [B, 1]
+  };
+
+  // Creates per-leaf-count heads for every leaf count in the dataset subset.
+  void EnsureHeads(const Dataset& ds, const std::vector<int>& indices);
+  void RebuildOptimizer();
+  void CollectAllParams(std::vector<Param*>* out);
+
+  BatchForward Forward(const Dataset& ds, const Batch& batch);
+  // Backprops d(loss)/d(pred) [B,1] and optionally d(loss)/dz (may be empty).
+  void Backward(const Batch& batch, const Matrix& dpred, const Matrix& dz_extra);
+  void ClipGradients();
+  std::vector<Matrix> SnapshotParams();
+  void RestoreParams(const std::vector<Matrix>& snapshot);
+
+  // Shared training loop; when alpha > 0, adds CMD(z_src, z_tgt) per step
+  // using batches drawn from the two domains.
+  TrainStats RunTraining(const Dataset& ds, const std::vector<int>& train,
+                         const std::vector<int>& valid, int epochs, double alpha,
+                         const std::vector<int>& source_domain,
+                         const std::vector<int>& target_domain);
+
+  PredictorConfig config_;
+  Rng rng_;
+
+  std::unique_ptr<Linear> input_proj_;
+  std::unique_ptr<TransformerEncoder> encoder_;
+  std::map<int, std::unique_ptr<Linear>> leaf_heads_;  // leaf count -> head
+  std::unique_ptr<Mlp> device_mlp_;
+  std::unique_ptr<Mlp> decoder_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<LrScheduler> scheduler_;
+  int64_t global_step_ = 0;
+
+  StandardScaler scaler_;
+  std::unique_ptr<LabelTransform> label_transform_;
+  bool fitted_ = false;
+
+  // Forward caches for Backward.
+  int cached_seq_len_ = 0;
+  int cached_batch_size_ = 0;
+  Matrix cached_zx_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_CORE_PREDICTOR_H_

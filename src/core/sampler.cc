@@ -1,0 +1,115 @@
+#include "src/core/sampler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/ml/kmeans.h"
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+// Aggregate feature rows, one per program, plus the program -> task mapping.
+Matrix ProgramFeatureMatrix(const Dataset& ds) {
+  CDMPP_CHECK(!ds.programs.empty());
+  std::vector<float> first = AggregateFeatures(ds.programs[0].ast);
+  Matrix feats(static_cast<int>(ds.programs.size()), static_cast<int>(first.size()));
+  for (size_t p = 0; p < ds.programs.size(); ++p) {
+    std::vector<float> row = AggregateFeatures(ds.programs[p].ast);
+    for (size_t j = 0; j < row.size(); ++j) {
+      feats.At(static_cast<int>(p), static_cast<int>(j)) = row[j];
+    }
+  }
+  return feats;
+}
+
+}  // namespace
+
+std::vector<int> SelectTasksKMeans(const Dataset& ds, int kappa, Rng* rng) {
+  CDMPP_CHECK(kappa >= 1);
+  CDMPP_CHECK(kappa <= static_cast<int>(ds.tasks.size()));
+  Matrix feats = ProgramFeatureMatrix(ds);
+  KMeansResult clusters = KMeans(feats, kappa, rng);
+
+  // Sort cluster ids by size, descending (Algorithm 1, line 2).
+  std::vector<int> order(static_cast<size_t>(kappa));
+  for (int e = 0; e < kappa; ++e) {
+    order[static_cast<size_t>(e)] = e;
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return clusters.cluster_sizes[static_cast<size_t>(a)] >
+           clusters.cluster_sizes[static_cast<size_t>(b)];
+  });
+
+  // Psi[e][tau]: mean distance of task tau's program features to center e.
+  const int num_tasks = static_cast<int>(ds.tasks.size());
+  std::vector<std::vector<double>> psi(
+      static_cast<size_t>(kappa), std::vector<double>(static_cast<size_t>(num_tasks), 0.0));
+  for (int e = 0; e < kappa; ++e) {
+    for (int tau = 0; tau < num_tasks; ++tau) {
+      const TaskInfo& info = ds.tasks[static_cast<size_t>(tau)];
+      CDMPP_CHECK(!info.program_indices.empty());
+      double sum = 0.0;
+      for (int p : info.program_indices) {
+        sum += std::sqrt(
+            SquaredDistance(feats.Row(p), clusters.centroids.Row(e), feats.cols()));
+      }
+      psi[static_cast<size_t>(e)][static_cast<size_t>(tau)] =
+          sum / static_cast<double>(info.program_indices.size());
+    }
+  }
+
+  std::vector<bool> taken(static_cast<size_t>(num_tasks), false);
+  std::vector<int> selected;
+  for (int e : order) {
+    int best_tau = -1;
+    double best_psi = std::numeric_limits<double>::max();
+    for (int tau = 0; tau < num_tasks; ++tau) {
+      if (taken[static_cast<size_t>(tau)]) {
+        continue;
+      }
+      if (psi[static_cast<size_t>(e)][static_cast<size_t>(tau)] < best_psi) {
+        best_psi = psi[static_cast<size_t>(e)][static_cast<size_t>(tau)];
+        best_tau = tau;
+      }
+    }
+    CDMPP_CHECK(best_tau >= 0);
+    taken[static_cast<size_t>(best_tau)] = true;
+    selected.push_back(best_tau);
+  }
+  return selected;
+}
+
+std::vector<int> SelectTasksRandom(const Dataset& ds, int kappa, Rng* rng) {
+  CDMPP_CHECK(kappa >= 1 && kappa <= static_cast<int>(ds.tasks.size()));
+  std::vector<int> ids(ds.tasks.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<int>(i);
+  }
+  rng->Shuffle(&ids);
+  ids.resize(static_cast<size_t>(kappa));
+  return ids;
+}
+
+std::vector<int> SamplesForTasksOnDevice(const Dataset& ds, const std::vector<int>& task_ids,
+                                         int device_id) {
+  std::vector<bool> wanted(ds.tasks.size(), false);
+  for (int t : task_ids) {
+    wanted[static_cast<size_t>(t)] = true;
+  }
+  std::vector<int> out;
+  for (size_t i = 0; i < ds.samples.size(); ++i) {
+    const Sample& s = ds.samples[i];
+    if (s.device_id != device_id) {
+      continue;
+    }
+    int task_id = ds.programs[static_cast<size_t>(s.program_index)].task_id;
+    if (wanted[static_cast<size_t>(task_id)]) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace cdmpp

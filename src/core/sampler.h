@@ -1,0 +1,33 @@
+// Clustering-based sampling strategy for cross-device fine-tuning
+// (paper §5.3, Algorithm 1): choose kappa tasks whose tensor-program features
+// best cover the whole dataset, to profile on the target device.
+#ifndef SRC_CORE_SAMPLER_H_
+#define SRC_CORE_SAMPLER_H_
+
+#include <vector>
+
+#include "src/dataset/dataset.h"
+#include "src/support/rng.h"
+
+namespace cdmpp {
+
+// Selects `kappa` distinct task ids following Algorithm 1:
+//  1. KMeans over all per-program aggregate features into kappa clusters,
+//     sorted by cluster size (descending).
+//  2. Psi[e, tau] = mean distance of task tau's program features to the
+//     center of cluster e.
+//  3. For each cluster (largest first) pick the not-yet-chosen task with the
+//     smallest Psi[e, tau].
+std::vector<int> SelectTasksKMeans(const Dataset& ds, int kappa, Rng* rng);
+
+// Baseline: kappa distinct tasks uniformly at random.
+std::vector<int> SelectTasksRandom(const Dataset& ds, int kappa, Rng* rng);
+
+// Expands selected task ids to the sample indices of their programs on the
+// given device (the records one would collect by profiling those tasks).
+std::vector<int> SamplesForTasksOnDevice(const Dataset& ds, const std::vector<int>& task_ids,
+                                         int device_id);
+
+}  // namespace cdmpp
+
+#endif  // SRC_CORE_SAMPLER_H_

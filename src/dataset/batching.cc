@@ -1,0 +1,115 @@
+#include "src/dataset/batching.h"
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+std::map<int, std::vector<int>> GroupByLeafCount(const Dataset& ds,
+                                                 const std::vector<int>& sample_indices) {
+  std::map<int, std::vector<int>> buckets;
+  for (int idx : sample_indices) {
+    const Sample& s = ds.samples[static_cast<size_t>(idx)];
+    const CompactAst& ast = ds.programs[static_cast<size_t>(s.program_index)].ast;
+    buckets[ast.num_leaves].push_back(idx);
+  }
+  return buckets;
+}
+
+std::vector<Batch> MakeBatches(const std::map<int, std::vector<int>>& buckets, int batch_size,
+                               Rng* rng) {
+  CDMPP_CHECK(batch_size > 0);
+  std::vector<Batch> batches;
+  for (const auto& [leaves, indices] : buckets) {
+    std::vector<int> shuffled = indices;
+    if (rng != nullptr) {
+      rng->Shuffle(&shuffled);
+    }
+    for (size_t start = 0; start < shuffled.size(); start += static_cast<size_t>(batch_size)) {
+      Batch b;
+      b.seq_len = leaves;
+      size_t end = std::min(shuffled.size(), start + static_cast<size_t>(batch_size));
+      b.sample_indices.assign(shuffled.begin() + static_cast<long>(start),
+                              shuffled.begin() + static_cast<long>(end));
+      batches.push_back(std::move(b));
+    }
+  }
+  if (rng != nullptr) {
+    rng->Shuffle(&batches);
+  }
+  return batches;
+}
+
+Matrix BuildFeatureMatrix(const Dataset& ds, const Batch& batch, const StandardScaler* scaler,
+                          bool use_pe, double theta) {
+  const int b = static_cast<int>(batch.sample_indices.size());
+  const int l = batch.seq_len;
+  Matrix x(b * l, kFeatDim);
+  for (int i = 0; i < b; ++i) {
+    const Sample& s = ds.samples[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])];
+    const CompactAst& ast = ds.programs[static_cast<size_t>(s.program_index)].ast;
+    CDMPP_CHECK(ast.num_leaves == l);
+    for (int t = 0; t < l; ++t) {
+      float* row = x.Row(i * l + t);
+      const ComputationVector& cv = ast.leaves[static_cast<size_t>(t)];
+      for (int j = 0; j < kFeatDim; ++j) {
+        row[j] = cv[static_cast<size_t>(j)];
+      }
+      if (scaler != nullptr) {
+        scaler->ApplyRow(row);
+      }
+      if (use_pe) {
+        ComputationVector pe = PositionalEncoding(ast.ordering[static_cast<size_t>(t)], theta);
+        for (int j = 0; j < kFeatDim; ++j) {
+          row[j] += pe[static_cast<size_t>(j)];
+        }
+      }
+    }
+  }
+  return x;
+}
+
+Matrix BuildDeviceFeatureMatrix(const Dataset& ds, const Batch& batch) {
+  const int b = static_cast<int>(batch.sample_indices.size());
+  Matrix out(b, kDeviceFeatDim);
+  for (int i = 0; i < b; ++i) {
+    const Sample& s = ds.samples[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])];
+    std::vector<float> feats = ExtractDeviceFeatures(DeviceById(s.device_id));
+    for (int j = 0; j < kDeviceFeatDim; ++j) {
+      out.At(i, j) = feats[static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
+Matrix StackLeafRows(const Dataset& ds, const std::vector<int>& sample_indices) {
+  size_t total_rows = 0;
+  for (int idx : sample_indices) {
+    const Sample& s = ds.samples[static_cast<size_t>(idx)];
+    total_rows += static_cast<size_t>(
+        ds.programs[static_cast<size_t>(s.program_index)].ast.num_leaves);
+  }
+  Matrix out(static_cast<int>(total_rows), kFeatDim);
+  int r = 0;
+  for (int idx : sample_indices) {
+    const Sample& s = ds.samples[static_cast<size_t>(idx)];
+    const CompactAst& ast = ds.programs[static_cast<size_t>(s.program_index)].ast;
+    for (const ComputationVector& cv : ast.leaves) {
+      float* row = out.Row(r++);
+      for (int j = 0; j < kFeatDim; ++j) {
+        row[j] = cv[static_cast<size_t>(j)];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> GatherLabels(const Dataset& ds, const std::vector<int>& sample_indices) {
+  std::vector<double> out;
+  out.reserve(sample_indices.size());
+  for (int idx : sample_indices) {
+    out.push_back(ds.samples[static_cast<size_t>(idx)].latency_seconds);
+  }
+  return out;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,49 @@
+// Leaf-count-bucketed batching (paper §5.1): compact ASTs with the same
+// number of leaves are batched together, giving uniform sequence lengths with
+// zero padding/sparsity — the efficiency core of CDMPP's training pipeline.
+#ifndef SRC_DATASET_BATCHING_H_
+#define SRC_DATASET_BATCHING_H_
+
+#include <map>
+#include <vector>
+
+#include "src/dataset/dataset.h"
+#include "src/ml/scaler.h"
+#include "src/nn/matrix.h"
+
+namespace cdmpp {
+
+// Groups sample indices by their program's leaf count.
+std::map<int, std::vector<int>> GroupByLeafCount(const Dataset& ds,
+                                                 const std::vector<int>& sample_indices);
+
+// One training batch: all samples share `seq_len` leaves.
+struct Batch {
+  int seq_len = 0;
+  std::vector<int> sample_indices;
+};
+
+// Splits buckets into batches of at most `batch_size`, shuffled within and
+// across buckets. Every index appears in exactly one batch.
+std::vector<Batch> MakeBatches(const std::map<int, std::vector<int>>& buckets, int batch_size,
+                               Rng* rng);
+
+// Builds the [B * seq_len, kFeatDim] feature matrix for a batch: per-leaf
+// computation vectors standardized by `scaler` (may be null), then the
+// positional encoding added if `use_pe`.
+Matrix BuildFeatureMatrix(const Dataset& ds, const Batch& batch, const StandardScaler* scaler,
+                          bool use_pe, double theta = 10000.0);
+
+// Builds the [B, kDeviceFeatDim] device feature matrix for a batch.
+Matrix BuildDeviceFeatureMatrix(const Dataset& ds, const Batch& batch);
+
+// Stacks the raw (unscaled, no-PE) leaf rows of the given samples; used to
+// fit the feature scaler on training data.
+Matrix StackLeafRows(const Dataset& ds, const std::vector<int>& sample_indices);
+
+// Gathers raw latency labels (seconds) of the given samples.
+std::vector<double> GatherLabels(const Dataset& ds, const std::vector<int>& sample_indices);
+
+}  // namespace cdmpp
+
+#endif  // SRC_DATASET_BATCHING_H_

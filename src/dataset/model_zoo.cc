@@ -1,0 +1,417 @@
+#include "src/dataset/model_zoo.h"
+
+#include <cstdio>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+// Incrementally builds one network's op list with linear or explicit deps.
+class NetBuilder {
+ public:
+  explicit NetBuilder(std::string family) { def_.family = std::move(family); }
+
+  // Appends an op depending on the previous op (or nothing if first).
+  int Add(OpKind kind, std::vector<int64_t> dims, bool fused_relu = false) {
+    std::vector<int> deps;
+    if (!def_.ops.empty()) {
+      deps.push_back(static_cast<int>(def_.ops.size()) - 1);
+    }
+    return AddWithDeps(kind, std::move(dims), fused_relu, std::move(deps));
+  }
+
+  // Appends an op with explicit dependencies.
+  int AddWithDeps(OpKind kind, std::vector<int64_t> dims, bool fused_relu,
+                  std::vector<int> deps) {
+    NetworkOp op;
+    op.task.kind = kind;
+    op.task.dims = std::move(dims);
+    op.task.fused_relu = fused_relu;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s_%s_%zu", def_.family.c_str(), OpKindName(kind),
+                  def_.ops.size());
+    op.task.name = buf;
+    ValidateTask(op.task);
+    for (int d : deps) {
+      CDMPP_CHECK(d >= 0 && d < static_cast<int>(def_.ops.size()));
+    }
+    op.deps = std::move(deps);
+    def_.ops.push_back(std::move(op));
+    return static_cast<int>(def_.ops.size()) - 1;
+  }
+
+  int last() const { return static_cast<int>(def_.ops.size()) - 1; }
+
+  NetworkDef Finish(std::string name, int batch) {
+    def_.name = std::move(name);
+    def_.batch_size = batch;
+    CDMPP_CHECK(!def_.ops.empty());
+    return std::move(def_);
+  }
+
+ private:
+  NetworkDef def_;
+};
+
+// ---------------- CNN families ----------------
+
+// A residual stage: conv3x3 -> conv3x3 -> elementwise add (+ optional 1x1s
+// for the bottleneck variant).
+NetworkDef BuildResNet(int depth, int bs, int res) {
+  NetBuilder b("resnet");
+  int64_t n = bs;
+  int64_t hw = res / 4;  // after the stem
+  b.Add(OpKind::kConv2d, {n, 3, res / 2, res / 2, 64, 7, 7}, true);  // stem
+  b.Add(OpKind::kPool, {n, 64, hw, hw, 3, 3});
+  const bool bottleneck = depth >= 50;
+  const int64_t widths[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    int64_t c = widths[stage];
+    int64_t h = std::max<int64_t>(hw >> stage, 4);
+    int entry = b.last();
+    if (bottleneck) {
+      b.Add(OpKind::kConv2d, {n, c, h, h, c, 1, 1}, true);
+      b.Add(OpKind::kConv2d, {n, c, h, h, c, 3, 3}, true);
+      b.Add(OpKind::kConv2d, {n, c, h, h, 4 * c, 1, 1}, false);
+      b.AddWithDeps(OpKind::kElementwise, {n * 4 * c * h * h}, true, {entry, b.last()});
+    } else {
+      b.Add(OpKind::kConv2d, {n, c, h, h, c, 3, 3}, true);
+      b.Add(OpKind::kConv2d, {n, c, h, h, c, 3, 3}, false);
+      b.AddWithDeps(OpKind::kElementwise, {n * c * h * h}, true, {entry, b.last()});
+    }
+  }
+  b.Add(OpKind::kPool, {n, bottleneck ? 2048 : 512, 7, 7, 7, 7});
+  b.Add(OpKind::kDense, {n, 1000, bottleneck ? 2048 : 512});
+  b.Add(OpKind::kSoftmax, {n, 1000});
+  char name[64];
+  std::snprintf(name, sizeof(name), "resnet%d_bs%d_r%d", depth, bs, res);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildVgg(int depth, int bs, int res) {
+  NetBuilder b("vgg");
+  int64_t n = bs;
+  const int convs_per_stage = depth >= 16 ? 2 : 1;
+  const int64_t widths[5] = {64, 128, 256, 512, 512};
+  int64_t h = res;
+  int64_t cin = 3;
+  for (int stage = 0; stage < 5; ++stage) {
+    for (int k = 0; k < convs_per_stage; ++k) {
+      b.Add(OpKind::kConv2d, {n, cin, h, h, widths[stage], 3, 3}, true);
+      cin = widths[stage];
+    }
+    b.Add(OpKind::kPool, {n, cin, h, h, 2, 2});
+    h = std::max<int64_t>(h / 2, 4);
+  }
+  b.Add(OpKind::kDense, {n, 4096, cin * h * h}, true);
+  b.Add(OpKind::kDense, {n, 4096, 4096}, true);
+  b.Add(OpKind::kDense, {n, 1000, 4096});
+  b.Add(OpKind::kSoftmax, {n, 1000});
+  char name[64];
+  std::snprintf(name, sizeof(name), "vgg%d_bs%d_r%d", depth, bs, res);
+  return b.Finish(name, bs);
+}
+
+// Inverted residual block: 1x1 expand -> depthwise 3x3 -> 1x1 project.
+NetworkDef BuildMobileNetV2(int width_percent, int bs, int res) {
+  NetBuilder b("mobilenet_v2");
+  int64_t n = bs;
+  auto w = [&](int64_t c) { return std::max<int64_t>(8, c * width_percent / 100); };
+  b.Add(OpKind::kConv2d, {n, 3, res / 2, res / 2, w(32), 3, 3}, true);
+  const int64_t stages[5] = {16, 24, 32, 96, 160};
+  int64_t cin = w(32);
+  int64_t h = res / 2;
+  for (int s = 0; s < 5; ++s) {
+    int64_t cout = w(stages[s]);
+    int64_t expand = cin * 6;
+    h = std::max<int64_t>(h / 2, 4);
+    int entry = b.last();
+    b.Add(OpKind::kConv2d, {n, cin, h, h, expand, 1, 1}, true);
+    b.Add(OpKind::kDepthwiseConv2d, {n, expand, h, h, 3, 3}, true);
+    b.Add(OpKind::kConv2d, {n, expand, h, h, cout, 1, 1}, false);
+    if (cout == cin) {
+      b.AddWithDeps(OpKind::kElementwise, {n * cout * h * h}, false, {entry, b.last()});
+    }
+    cin = cout;
+  }
+  b.Add(OpKind::kConv2d, {n, cin, h, h, w(1280), 1, 1}, true);
+  b.Add(OpKind::kPool, {n, w(1280), h, h, h, h});
+  b.Add(OpKind::kDense, {n, 1000, w(1280)});
+  b.Add(OpKind::kSoftmax, {n, 1000});
+  char name[64];
+  std::snprintf(name, sizeof(name), "mobilenet_v2_w%d_bs%d_r%d", width_percent, bs, res);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildInceptionV3(int bs, int res) {
+  NetBuilder b("inception_v3");
+  int64_t n = bs;
+  int64_t h = res / 8;
+  b.Add(OpKind::kConv2d, {n, 3, res / 2, res / 2, 32, 3, 3}, true);
+  b.Add(OpKind::kConv2d, {n, 32, res / 4, res / 4, 64, 3, 3}, true);
+  b.Add(OpKind::kPool, {n, 64, res / 4, res / 4, 3, 3});
+  // One inception block with four parallel branches.
+  int stem = b.last();
+  int b1 = b.AddWithDeps(OpKind::kConv2d, {n, 64, h, h, 64, 1, 1}, true, {stem});
+  b.AddWithDeps(OpKind::kConv2d, {n, 64, h, h, 48, 1, 1}, true, {stem});
+  int b2 = b.AddWithDeps(OpKind::kConv2d, {n, 48, h, h, 64, 5, 5}, true, {b.last()});
+  b.AddWithDeps(OpKind::kConv2d, {n, 64, h, h, 64, 1, 1}, true, {stem});
+  b.AddWithDeps(OpKind::kConv2d, {n, 64, h, h, 96, 3, 3}, true, {b.last()});
+  int b3 = b.AddWithDeps(OpKind::kConv2d, {n, 96, h, h, 96, 3, 3}, true, {b.last()});
+  b.AddWithDeps(OpKind::kPool, {n, 64, h, h, 3, 3}, false, {stem});
+  int b4 = b.AddWithDeps(OpKind::kConv2d, {n, 64, h, h, 32, 1, 1}, true, {b.last()});
+  b.AddWithDeps(OpKind::kElementwise, {n * 256 * h * h}, false, {b1, b2, b3, b4});  // concat
+  b.Add(OpKind::kConv2d, {n, 256, h, h, 288, 3, 3}, true);
+  b.Add(OpKind::kPool, {n, 288, 8, 8, 8, 8});
+  b.Add(OpKind::kDense, {n, 1000, 288});
+  b.Add(OpKind::kSoftmax, {n, 1000});
+  char name[64];
+  std::snprintf(name, sizeof(name), "inception_v3_bs%d_r%d", bs, res);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildSqueezeNet(int bs, int res) {
+  NetBuilder b("squeezenet");
+  int64_t n = bs;
+  b.Add(OpKind::kConv2d, {n, 3, res / 2, res / 2, 96, 7, 7}, true);
+  b.Add(OpKind::kPool, {n, 96, res / 4, res / 4, 3, 3});
+  int64_t h = res / 4;
+  int64_t cin = 96;
+  const int64_t squeeze_widths[3] = {16, 32, 48};
+  for (int s = 0; s < 3; ++s) {
+    int64_t sq = squeeze_widths[s];
+    b.Add(OpKind::kConv2d, {n, cin, h, h, sq, 1, 1}, true);  // squeeze
+    int squeeze_idx = b.last();
+    int e1 = b.AddWithDeps(OpKind::kConv2d, {n, sq, h, h, sq * 4, 1, 1}, true, {squeeze_idx});
+    int e3 = b.AddWithDeps(OpKind::kConv2d, {n, sq, h, h, sq * 4, 3, 3}, true, {squeeze_idx});
+    b.AddWithDeps(OpKind::kElementwise, {n * sq * 8 * h * h}, false, {e1, e3});  // concat
+    cin = sq * 8;
+    h = std::max<int64_t>(h / 2, 4);
+  }
+  b.Add(OpKind::kConv2d, {n, cin, h, h, 1000, 1, 1}, false);
+  b.Add(OpKind::kPool, {n, 1000, h, h, h, h});
+  b.Add(OpKind::kSoftmax, {n, 1000});
+  char name[64];
+  std::snprintf(name, sizeof(name), "squeezenet_bs%d_r%d", bs, res);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildUnet(int bs, int res) {
+  NetBuilder b("unet");
+  int64_t n = bs;
+  int64_t h = res / 2;
+  const int64_t widths[3] = {64, 128, 256};
+  std::vector<int> skips;
+  int64_t cin = 3;
+  for (int s = 0; s < 3; ++s) {
+    b.Add(OpKind::kConv2d, {n, cin, h, h, widths[s], 3, 3}, true);
+    skips.push_back(b.last());
+    b.Add(OpKind::kPool, {n, widths[s], h, h, 2, 2});
+    cin = widths[s];
+    h = std::max<int64_t>(h / 2, 4);
+  }
+  b.Add(OpKind::kConv2d, {n, 256, h, h, 512, 3, 3}, true);  // bottleneck
+  for (int s = 2; s >= 0; --s) {
+    h = h * 2;
+    int64_t c = widths[s];
+    b.Add(OpKind::kConv2d, {n, s == 2 ? 512 : widths[s + 1], h, h, c, 3, 3}, true);  // upconv
+    b.AddWithDeps(OpKind::kElementwise, {n * c * h * h}, true,
+                  {skips[static_cast<size_t>(s)], b.last()});
+  }
+  b.Add(OpKind::kConv2d, {n, 64, h, h, 2, 1, 1}, false);
+  char name[64];
+  std::snprintf(name, sizeof(name), "unet_bs%d_r%d", bs, res);
+  return b.Finish(name, bs);
+}
+
+// ---------------- Transformer families ----------------
+
+// One self-attention + FFN block; `layers` blocks are instantiated so the
+// replayer sees the full DFG while deduped tasks keep the dataset compact.
+void AddTransformerBlocks(NetBuilder* b, int layers, int64_t tokens, int64_t hidden,
+                          int64_t heads, int64_t ffn) {
+  for (int l = 0; l < layers; ++l) {
+    int block_in = b->last();
+    b->AddWithDeps(OpKind::kDense, {tokens, 3 * hidden, hidden}, false, {block_in});  // QKV
+    b->Add(OpKind::kBatchMatmul, {heads, tokens, tokens, hidden / heads});            // QK^T
+    b->Add(OpKind::kSoftmax, {heads * tokens, tokens});
+    b->Add(OpKind::kBatchMatmul, {heads, tokens, hidden / heads, tokens});  // AV
+    b->Add(OpKind::kDense, {tokens, hidden, hidden});                       // proj
+    b->AddWithDeps(OpKind::kElementwise, {tokens * hidden}, false, {block_in, b->last()});
+    b->Add(OpKind::kLayerNorm, {tokens, hidden});
+    int ffn_in = b->last();
+    b->Add(OpKind::kDense, {tokens, ffn, hidden}, true);
+    b->Add(OpKind::kDense, {tokens, hidden, ffn});
+    b->AddWithDeps(OpKind::kElementwise, {tokens * hidden}, false, {ffn_in, b->last()});
+    b->Add(OpKind::kLayerNorm, {tokens, hidden});
+  }
+}
+
+NetworkDef BuildBert(const char* size, int bs, int seq) {
+  NetBuilder b("bert");
+  int layers;
+  int64_t hidden, heads;
+  if (std::string(size) == "tiny") {
+    layers = 2;
+    hidden = 128;
+    heads = 2;
+  } else if (std::string(size) == "small") {
+    layers = 4;
+    hidden = 512;
+    heads = 8;
+  } else {  // base
+    layers = 12;
+    hidden = 768;
+    heads = 12;
+  }
+  int64_t tokens = static_cast<int64_t>(bs) * seq;
+  b.Add(OpKind::kDense, {tokens, hidden, hidden});  // embedding projection
+  b.Add(OpKind::kLayerNorm, {tokens, hidden});
+  AddTransformerBlocks(&b, layers, tokens, hidden, heads * bs, hidden * 4);
+  b.Add(OpKind::kDense, {static_cast<int64_t>(bs), 2, hidden});  // classifier head
+  b.Add(OpKind::kSoftmax, {static_cast<int64_t>(bs), 2});
+  char name[64];
+  std::snprintf(name, sizeof(name), "bert_%s_bs%d_s%d", size, bs, seq);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildGpt2(const char* size, int bs, int seq) {
+  NetBuilder b("gpt2");
+  int layers = std::string(size) == "m" ? 8 : 4;
+  int64_t hidden = std::string(size) == "m" ? 1024 : 768;
+  int64_t heads = hidden / 64;
+  int64_t tokens = static_cast<int64_t>(bs) * seq;
+  b.Add(OpKind::kDense, {tokens, hidden, hidden});
+  AddTransformerBlocks(&b, layers, tokens, hidden, heads * bs, hidden * 4);
+  b.Add(OpKind::kDense, {tokens, 8192, hidden});  // LM head (vocab slice)
+  b.Add(OpKind::kSoftmax, {tokens, 8192});
+  char name[64];
+  std::snprintf(name, sizeof(name), "gpt2_%s_bs%d_s%d", size, bs, seq);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildViT(const char* size, int bs, int res) {
+  NetBuilder b("vit");
+  int layers = std::string(size) == "b" ? 8 : 4;
+  int64_t hidden = std::string(size) == "b" ? 768 : 384;
+  int64_t patches = static_cast<int64_t>(res / 16) * (res / 16);
+  int64_t tokens = static_cast<int64_t>(bs) * patches;
+  b.Add(OpKind::kConv2d, {bs, 3, res / 16, res / 16, hidden, 1, 1});  // patch embed
+  AddTransformerBlocks(&b, layers, tokens, hidden, (hidden / 64) * bs, hidden * 4);
+  b.Add(OpKind::kDense, {static_cast<int64_t>(bs), 1000, hidden});
+  b.Add(OpKind::kSoftmax, {static_cast<int64_t>(bs), 1000});
+  char name[64];
+  std::snprintf(name, sizeof(name), "vit_%s_bs%d_r%d", size, bs, res);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildLstmLm(int num_layers, int bs, int seq) {
+  NetBuilder b("lstm_lm");
+  int64_t hidden = 512;
+  int64_t n = static_cast<int64_t>(bs) * seq;
+  b.Add(OpKind::kDense, {n, hidden, hidden});  // embedding
+  for (int l = 0; l < num_layers; ++l) {
+    b.Add(OpKind::kDense, {n, 4 * hidden, hidden});       // input gates
+    b.Add(OpKind::kDense, {n, 4 * hidden, hidden});       // recurrent gates
+    b.Add(OpKind::kElementwise, {n * 4 * hidden}, false);  // gate nonlinearity
+    b.Add(OpKind::kElementwise, {n * hidden}, false);      // cell update
+  }
+  b.Add(OpKind::kDense, {n, 8192, hidden});
+  b.Add(OpKind::kSoftmax, {n, 8192});
+  char name[64];
+  std::snprintf(name, sizeof(name), "lstm_lm_l%d_bs%d_s%d", num_layers, bs, seq);
+  return b.Finish(name, bs);
+}
+
+NetworkDef BuildMlpMixer(int bs, int res) {
+  NetBuilder b("mlp_mixer");
+  int64_t hidden = 512;
+  int64_t patches = static_cast<int64_t>(res / 16) * (res / 16);
+  int64_t tokens = static_cast<int64_t>(bs) * patches;
+  b.Add(OpKind::kConv2d, {bs, 3, res / 16, res / 16, hidden, 1, 1});
+  for (int l = 0; l < 4; ++l) {
+    b.Add(OpKind::kLayerNorm, {tokens, hidden});
+    b.Add(OpKind::kTranspose, {tokens, hidden});
+    b.Add(OpKind::kDense, {static_cast<int64_t>(bs) * hidden, patches, patches}, true);
+    b.Add(OpKind::kTranspose, {tokens, hidden});
+    b.Add(OpKind::kLayerNorm, {tokens, hidden});
+    b.Add(OpKind::kDense, {tokens, hidden * 4, hidden}, true);
+    b.Add(OpKind::kDense, {tokens, hidden, hidden * 4});
+  }
+  b.Add(OpKind::kReduce, {static_cast<int64_t>(bs), patches * hidden / bs});
+  b.Add(OpKind::kDense, {static_cast<int64_t>(bs), 1000, hidden});
+  b.Add(OpKind::kSoftmax, {static_cast<int64_t>(bs), 1000});
+  char name[64];
+  std::snprintf(name, sizeof(name), "mlp_mixer_bs%d_r%d", bs, res);
+  return b.Finish(name, bs);
+}
+
+}  // namespace
+
+std::vector<NetworkDef> BuildModelZoo() {
+  std::vector<NetworkDef> zoo;
+  const int batches[3] = {1, 4, 8};
+  const int resolutions[2] = {224, 288};
+  const int seqs[2] = {128, 256};
+
+  for (int res : resolutions) {
+    for (int bs : batches) {
+      for (int depth : {18, 34, 50}) {
+        zoo.push_back(BuildResNet(depth, bs, res));
+      }
+      for (int depth : {11, 16}) {
+        zoo.push_back(BuildVgg(depth, bs, res));
+      }
+      for (int width : {50, 100}) {
+        zoo.push_back(BuildMobileNetV2(width, bs, res));
+      }
+      zoo.push_back(BuildInceptionV3(bs, res));
+      zoo.push_back(BuildSqueezeNet(bs, res));
+      zoo.push_back(BuildUnet(bs, res));
+      zoo.push_back(BuildMlpMixer(bs, res));
+    }
+  }
+  for (int seq : seqs) {
+    for (int bs : batches) {
+      for (const char* size : {"tiny", "small", "base"}) {
+        zoo.push_back(BuildBert(size, bs, seq));
+      }
+      for (const char* size : {"s", "m"}) {
+        zoo.push_back(BuildGpt2(size, bs, seq));
+      }
+      for (int layers : {1, 2}) {
+        zoo.push_back(BuildLstmLm(layers, bs, seq));
+      }
+    }
+  }
+  for (int res : resolutions) {
+    for (int bs : batches) {
+      for (const char* size : {"s", "b"}) {
+        zoo.push_back(BuildViT(size, bs, res));
+      }
+    }
+  }
+
+  for (size_t i = 0; i < zoo.size(); ++i) {
+    zoo[i].id = static_cast<int>(i);
+  }
+  return zoo;
+}
+
+NetworkDef BuildNetworkByName(const std::string& name) {
+  for (NetworkDef& net : BuildModelZoo()) {
+    if (net.name == name) {
+      return std::move(net);
+    }
+  }
+  CDMPP_CHECK_MSG(false, name.c_str());
+  __builtin_unreachable();
+}
+
+std::vector<std::string> HoldoutNetworkNames() {
+  return {"resnet50_bs1_r224", "mobilenet_v2_w100_bs1_r224", "bert_tiny_bs1_s128"};
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,46 @@
+// The model zoo: 120 DNN network definitions spanning CNN, transformer and
+// recurrent families, standing in for the 120 ML models of the Tenset-based
+// dataset (paper §7.1). Each network is a DFG of operator tasks; different
+// families have very different op mixes (convs vs. batched matmuls vs.
+// pointwise), which is the source of the cross-model distribution shift the
+// paper studies.
+#ifndef SRC_DATASET_MODEL_ZOO_H_
+#define SRC_DATASET_MODEL_ZOO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/tir/op.h"
+
+namespace cdmpp {
+
+// One node of a network's data-flow graph. `deps` are indices of predecessor
+// ops within the same network.
+struct NetworkOp {
+  Task task;  // task.id is assigned during dataset construction (dedup)
+  std::vector<int> deps;
+};
+
+struct NetworkDef {
+  int id = -1;
+  std::string name;    // e.g. "resnet50_bs1_r224"
+  std::string family;  // e.g. "resnet"
+  int batch_size = 1;
+  std::vector<NetworkOp> ops;
+};
+
+// Builds the full 120-network zoo (deterministic, no RNG involved).
+std::vector<NetworkDef> BuildModelZoo();
+
+// Builds a single named network; aborts on unknown names. Recognized names
+// follow the zoo convention, e.g. "resnet50_bs1_r224", "bert_tiny_bs1_s128",
+// "mobilenet_v2_w100_bs1_r224", "inception_v3_bs1_r224", "vgg16_bs4_r224".
+NetworkDef BuildNetworkByName(const std::string& name);
+
+// The paper's cross-model hold-out set: ResNet-50, MobileNet-V2, BERT-tiny
+// (§7.1), at batch size 1 and default resolution/sequence length.
+std::vector<std::string> HoldoutNetworkNames();
+
+}  // namespace cdmpp
+
+#endif  // SRC_DATASET_MODEL_ZOO_H_

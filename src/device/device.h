@@ -1,0 +1,62 @@
+// Device registry (paper Table 2) and device-dependent feature extraction
+// (paper §4.3).
+//
+// The registry describes the nine devices of the paper's evaluation. Spec
+// values for clock / memory / bandwidth / cores come directly from Table 2;
+// derived parameters (peak GFLOPS, cache sizes, launch overheads) use public
+// datasheet figures so the simulated performance landscape is plausible.
+#ifndef SRC_DEVICE_DEVICE_H_
+#define SRC_DEVICE_DEVICE_H_
+
+#include <string>
+#include <vector>
+
+namespace cdmpp {
+
+enum class DeviceClass { kGpu, kCpu, kAccelerator };
+
+const char* DeviceClassName(DeviceClass cls);
+
+struct DeviceSpec {
+  int id = -1;
+  std::string name;
+  DeviceClass cls = DeviceClass::kGpu;
+  double clock_mhz = 0.0;
+  double mem_gb = 0.0;
+  double mem_bw_gbps = 0.0;  // GB/s
+  int cores = 0;             // SMs for GPUs, cores for CPUs, engines for accelerators
+  double peak_gflops = 0.0;  // fp32
+  double l1_kb = 0.0;        // per-core L1 / shared memory
+  double l2_mb = 0.0;
+  double launch_overhead_us = 0.0;  // fixed per-kernel overhead
+  double vector_width = 1.0;        // SIMD lanes per core (CPU) / warp efficiency proxy
+  // Device-specific saturation knee: fraction of `cores` of exposed
+  // parallelism needed to reach ~76% of peak throughput (tanh-shaped).
+  double occupancy_knee = 1.0;
+  // Efficiency multiplier for GEMM-class work (tensor cores / GEMM engines).
+  double gemm_affinity = 1.0;
+};
+
+// All nine devices of Table 2, ids 0..8, stable ordering:
+// T4, K80, P100, V100, A100, HL-100, Intel E5-2673, AMD EPYC 7452, Graviton2.
+const std::vector<DeviceSpec>& DeviceRegistry();
+
+// Lookup by name; aborts if unknown.
+const DeviceSpec& DeviceByName(const std::string& name);
+const DeviceSpec& DeviceById(int id);
+
+// Convenience id lists used by the cross-device experiments.
+std::vector<int> GpuDeviceIds();
+std::vector<int> CpuDeviceIds();
+int AcceleratorDeviceId();
+
+// Width of the device-dependent feature vector.
+constexpr int kDeviceFeatDim = 12;
+
+// Extracts the device-dependent features v of §4.3: log-compressed hardware
+// specification values plus a one-hot device class.
+std::vector<float> ExtractDeviceFeatures(const DeviceSpec& spec);
+
+}  // namespace cdmpp
+
+#endif  // SRC_DEVICE_DEVICE_H_

@@ -1,0 +1,69 @@
+#include "src/exp/exp_common.h"
+
+#include <cstdio>
+
+#include "src/support/stats.h"
+
+namespace cdmpp {
+
+namespace {
+
+constexpr int kBenchNetworks = 30;
+constexpr int kBenchSchedulesPerTask = 6;
+constexpr uint64_t kBenchSeed = 2024;
+
+}  // namespace
+
+Dataset BuildBenchDataset(const std::vector<int>& device_ids) {
+  DatasetOptions opts;
+  opts.device_ids = device_ids;
+  opts.schedules_per_task = kBenchSchedulesPerTask;
+  opts.max_networks = kBenchNetworks;
+  opts.noise_sigma = 0.03;
+  opts.seed = kBenchSeed;
+  return BuildDataset(opts);
+}
+
+Dataset BuildBenchDataset() { return BuildBenchDataset({}); }
+
+PredictorConfig BenchPredictorConfig(int epochs, uint64_t seed) {
+  PredictorConfig cfg;  // defaults are the auto-tuned values
+  cfg.epochs = epochs;
+  cfg.seed = seed;
+  return cfg;
+}
+
+EvalStats EvalPredictions(const Dataset& ds, const std::vector<int>& indices,
+                          const std::vector<double>& preds_seconds) {
+  EvalStats stats;
+  std::vector<double> pred_ms(preds_seconds.size());
+  std::vector<double> truth_ms(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    pred_ms[i] = preds_seconds[i] * 1e3;
+    truth_ms[i] = ds.samples[static_cast<size_t>(indices[i])].latency_seconds * 1e3;
+  }
+  stats.mape = Mape(pred_ms, truth_ms);
+  stats.rmse_ms = Rmse(pred_ms, truth_ms);
+  stats.acc20 = AccuracyWithin(pred_ms, truth_ms, 0.2);
+  stats.acc10 = AccuracyWithin(pred_ms, truth_ms, 0.1);
+  stats.acc5 = AccuracyWithin(pred_ms, truth_ms, 0.05);
+  stats.count = static_cast<int>(indices.size());
+  return stats;
+}
+
+std::vector<int> Take(const std::vector<int>& indices, size_t n) {
+  if (indices.size() <= n) {
+    return indices;
+  }
+  return std::vector<int>(indices.begin(), indices.begin() + static_cast<long>(n));
+}
+
+void PrintBenchHeader(const std::string& id, const std::string& paper_ref,
+                      const std::string& description) {
+  std::printf("\n===============================================================\n");
+  std::printf("%s — reproduces %s\n%s\n", id.c_str(), paper_ref.c_str(), description.c_str());
+  std::printf("===============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace cdmpp

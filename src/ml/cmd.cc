@@ -1,0 +1,184 @@
+#include "src/ml/cmd.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+struct Moments {
+  std::vector<double> mean;                       // [d]
+  std::vector<std::vector<double>> central;       // central[k-2][d] for k = 2..J
+};
+
+Moments ComputeMoments(const Matrix& z, int num_moments) {
+  const int n = z.rows();
+  const int d = z.cols();
+  Moments m;
+  m.mean.assign(static_cast<size_t>(d), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const float* row = z.Row(i);
+    for (int j = 0; j < d; ++j) {
+      m.mean[static_cast<size_t>(j)] += row[j];
+    }
+  }
+  for (double& v : m.mean) {
+    v /= static_cast<double>(n);
+  }
+  m.central.assign(static_cast<size_t>(num_moments - 1),
+                   std::vector<double>(static_cast<size_t>(d), 0.0));
+  for (int i = 0; i < n; ++i) {
+    const float* row = z.Row(i);
+    for (int j = 0; j < d; ++j) {
+      double c = row[j] - m.mean[static_cast<size_t>(j)];
+      double p = c;
+      for (int k = 2; k <= num_moments; ++k) {
+        p *= c;
+        m.central[static_cast<size_t>(k - 2)][static_cast<size_t>(j)] += p;
+      }
+    }
+  }
+  for (auto& vec : m.central) {
+    for (double& v : vec) {
+      v /= static_cast<double>(n);
+    }
+  }
+  return m;
+}
+
+double EstimateSpan(const Matrix& z1, const Matrix& z2) {
+  double lo = 1e30;
+  double hi = -1e30;
+  auto scan = [&](const Matrix& z) {
+    for (size_t i = 0; i < z.size(); ++i) {
+      lo = std::min(lo, static_cast<double>(z.data()[i]));
+      hi = std::max(hi, static_cast<double>(z.data()[i]));
+    }
+  };
+  scan(z1);
+  scan(z2);
+  return std::max(1.0, hi - lo);
+}
+
+double Norm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) {
+    s += x * x;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+double CmdDistance(const Matrix& z1, const Matrix& z2, int num_moments, double span) {
+  CDMPP_CHECK(z1.cols() == z2.cols());
+  CDMPP_CHECK(z1.rows() > 0 && z2.rows() > 0);
+  CDMPP_CHECK(num_moments >= 1);
+  if (span <= 0.0) {
+    span = EstimateSpan(z1, z2);
+  }
+  Moments m1 = ComputeMoments(z1, num_moments);
+  Moments m2 = ComputeMoments(z2, num_moments);
+  const int d = z1.cols();
+
+  std::vector<double> diff(static_cast<size_t>(d));
+  for (int j = 0; j < d; ++j) {
+    diff[static_cast<size_t>(j)] = m1.mean[static_cast<size_t>(j)] - m2.mean[static_cast<size_t>(j)];
+  }
+  double cmd = Norm(diff) / span;
+  double span_pow = span;
+  for (int k = 2; k <= num_moments; ++k) {
+    span_pow *= span;
+    for (int j = 0; j < d; ++j) {
+      diff[static_cast<size_t>(j)] = m1.central[static_cast<size_t>(k - 2)][static_cast<size_t>(j)] -
+                                     m2.central[static_cast<size_t>(k - 2)][static_cast<size_t>(j)];
+    }
+    cmd += Norm(diff) / span_pow;
+  }
+  return cmd;
+}
+
+namespace {
+
+// Adds the gradient contribution of one side's sample set.
+// sign = +1 for z1 (diff = m1 - m2), -1 for z2.
+void AccumulateSideGrad(const Matrix& z, const Moments& m, int num_moments,
+                        const std::vector<std::vector<double>>& unit_diffs,
+                        const std::vector<double>& scales, double sign, double weight,
+                        Matrix* dz) {
+  const int n = z.rows();
+  const int d = z.cols();
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int i = 0; i < n; ++i) {
+    const float* row = z.Row(i);
+    float* grow = dz->Row(i);
+    for (int j = 0; j < d; ++j) {
+      double c = row[j] - m.mean[static_cast<size_t>(j)];
+      // Mean term: d mean_j / d z_ij = 1/n.
+      double g = unit_diffs[0][static_cast<size_t>(j)] * scales[0] * inv_n;
+      // Central moment terms: dM_k/dz_ij = (k/n) * (c^{k-1} - M_{k-1,j}),
+      // where M_1 = 0.
+      double c_pow = 1.0;  // becomes c^{k-1} at the top of iteration k
+      for (int k = 2; k <= num_moments; ++k) {
+        c_pow *= c;
+        double prev_central =
+            k == 2 ? 0.0 : m.central[static_cast<size_t>(k - 3)][static_cast<size_t>(j)];
+        double dmk = static_cast<double>(k) * inv_n * (c_pow - prev_central);
+        g += unit_diffs[static_cast<size_t>(k - 1)][static_cast<size_t>(j)] *
+             scales[static_cast<size_t>(k - 1)] * dmk;
+      }
+      grow[j] += static_cast<float>(sign * weight * g);
+    }
+  }
+}
+
+}  // namespace
+
+double CmdDistanceWithGrad(const Matrix& z1, const Matrix& z2, int num_moments, double span,
+                           double weight, Matrix* dz1, Matrix* dz2) {
+  CDMPP_CHECK(z1.cols() == z2.cols());
+  CDMPP_CHECK(dz1 != nullptr && dz2 != nullptr);
+  CDMPP_CHECK(dz1->rows() == z1.rows() && dz1->cols() == z1.cols());
+  CDMPP_CHECK(dz2->rows() == z2.rows() && dz2->cols() == z2.cols());
+  if (span <= 0.0) {
+    span = EstimateSpan(z1, z2);
+  }
+  Moments m1 = ComputeMoments(z1, num_moments);
+  Moments m2 = ComputeMoments(z2, num_moments);
+  const int d = z1.cols();
+
+  // For each term k (index 0 = mean term), the unit direction of the
+  // difference vector and the 1/(||diff|| * span^k) scale.
+  std::vector<std::vector<double>> unit_diffs(static_cast<size_t>(num_moments),
+                                              std::vector<double>(static_cast<size_t>(d), 0.0));
+  std::vector<double> scales(static_cast<size_t>(num_moments), 0.0);
+  double cmd = 0.0;
+  double span_pow = 1.0;
+  for (int term = 0; term < num_moments; ++term) {
+    span_pow *= span;
+    auto& diff = unit_diffs[static_cast<size_t>(term)];
+    for (int j = 0; j < d; ++j) {
+      if (term == 0) {
+        diff[static_cast<size_t>(j)] =
+            m1.mean[static_cast<size_t>(j)] - m2.mean[static_cast<size_t>(j)];
+      } else {
+        diff[static_cast<size_t>(j)] =
+            m1.central[static_cast<size_t>(term - 1)][static_cast<size_t>(j)] -
+            m2.central[static_cast<size_t>(term - 1)][static_cast<size_t>(j)];
+      }
+    }
+    double norm = Norm(diff);
+    cmd += norm / span_pow;
+    // d/d(diff_j) of ||diff||/span^k = diff_j / (||diff|| span^k).
+    scales[static_cast<size_t>(term)] = norm > 1e-12 ? 1.0 / (norm * span_pow) : 0.0;
+  }
+
+  AccumulateSideGrad(z1, m1, num_moments, unit_diffs, scales, +1.0, weight, dz1);
+  AccumulateSideGrad(z2, m2, num_moments, unit_diffs, scales, -1.0, weight, dz2);
+  return cmd;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,115 @@
+#include "src/ml/kmeans.h"
+
+#include <limits>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+double SquaredDistance(const float* a, const float* b, int dim) {
+  double s = 0.0;
+  for (int j = 0; j < dim; ++j) {
+    double d = static_cast<double>(a[j]) - b[j];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+// KMeans++ seeding: first centroid uniform, then proportional to squared
+// distance from the nearest chosen centroid.
+Matrix SeedCentroids(const Matrix& points, int k, Rng* rng) {
+  const int n = points.rows();
+  const int dim = points.cols();
+  Matrix centroids(k, dim);
+  int first = static_cast<int>(rng->UniformInt(0, n - 1));
+  for (int j = 0; j < dim; ++j) {
+    centroids.At(0, j) = points.At(first, j);
+  }
+  std::vector<double> d2(static_cast<size_t>(n), std::numeric_limits<double>::max());
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double d = SquaredDistance(points.Row(i), centroids.Row(c - 1), dim);
+      d2[static_cast<size_t>(i)] = std::min(d2[static_cast<size_t>(i)], d);
+      total += d2[static_cast<size_t>(i)];
+    }
+    int chosen = n - 1;
+    if (total > 0.0) {
+      double r = rng->Uniform(0.0, total);
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) {
+        acc += d2[static_cast<size_t>(i)];
+        if (acc >= r) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int>(rng->UniformInt(0, n - 1));
+    }
+    for (int j = 0; j < dim; ++j) {
+      centroids.At(c, j) = points.At(chosen, j);
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& points, int k, Rng* rng, int max_iters) {
+  const int n = points.rows();
+  const int dim = points.cols();
+  CDMPP_CHECK(k >= 1 && k <= n);
+
+  KMeansResult res;
+  res.centroids = SeedCentroids(points, k, rng);
+  res.assignment.assign(static_cast<size_t>(n), 0);
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    res.inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        double d = SquaredDistance(points.Row(i), res.centroids.Row(c), dim);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[static_cast<size_t>(i)] != best) {
+        res.assignment[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+      res.inertia += best_d;
+    }
+    // Recompute centroids; empty clusters keep their previous position.
+    Matrix sums(k, dim);
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+      int c = res.assignment[static_cast<size_t>(i)];
+      counts[static_cast<size_t>(c)]++;
+      for (int j = 0; j < dim; ++j) {
+        sums.At(c, j) += points.At(i, j);
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        continue;
+      }
+      for (int j = 0; j < dim; ++j) {
+        res.centroids.At(c, j) = sums.At(c, j) / static_cast<float>(counts[static_cast<size_t>(c)]);
+      }
+    }
+    res.cluster_sizes = counts;
+    if (!changed && iter > 0) {
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,29 @@
+// KMeans++ clustering, the core of the paper's fine-tuning sampling strategy
+// (Algorithm 1).
+#ifndef SRC_ML_KMEANS_H_
+#define SRC_ML_KMEANS_H_
+
+#include <vector>
+
+#include "src/nn/matrix.h"
+#include "src/support/rng.h"
+
+namespace cdmpp {
+
+struct KMeansResult {
+  Matrix centroids;                 // [k, dim]
+  std::vector<int> assignment;      // per-point cluster id
+  std::vector<int> cluster_sizes;   // per-cluster point count
+  double inertia = 0.0;             // sum of squared distances to centroids
+};
+
+// Runs KMeans with KMeans++ initialization on row-vectors of `points`.
+// Deterministic given the rng seed. k must be in [1, points.rows()].
+KMeansResult KMeans(const Matrix& points, int k, Rng* rng, int max_iters = 50);
+
+// Squared Euclidean distance between a point row and a centroid row.
+double SquaredDistance(const float* a, const float* b, int dim);
+
+}  // namespace cdmpp
+
+#endif  // SRC_ML_KMEANS_H_

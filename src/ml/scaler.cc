@@ -1,0 +1,47 @@
+#include "src/ml/scaler.h"
+
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+void StandardScaler::Fit(const Matrix& x) {
+  CDMPP_CHECK(x.rows() > 0);
+  const int n = x.rows();
+  const int d = x.cols();
+  mean_.assign(static_cast<size_t>(d), 0.0f);
+  inv_std_.assign(static_cast<size_t>(d), 1.0f);
+  std::vector<double> sum(static_cast<size_t>(d), 0.0);
+  std::vector<double> sum_sq(static_cast<size_t>(d), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const float* row = x.Row(i);
+    for (int j = 0; j < d; ++j) {
+      sum[static_cast<size_t>(j)] += row[j];
+      sum_sq[static_cast<size_t>(j)] += static_cast<double>(row[j]) * row[j];
+    }
+  }
+  for (int j = 0; j < d; ++j) {
+    double mu = sum[static_cast<size_t>(j)] / n;
+    double var = sum_sq[static_cast<size_t>(j)] / n - mu * mu;
+    mean_[static_cast<size_t>(j)] = static_cast<float>(mu);
+    inv_std_[static_cast<size_t>(j)] =
+        var > 1e-10 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
+  }
+}
+
+void StandardScaler::Apply(Matrix* x) const {
+  CDMPP_CHECK(fitted());
+  CDMPP_CHECK(x->cols() == dim());
+  for (int i = 0; i < x->rows(); ++i) {
+    ApplyRow(x->Row(i));
+  }
+}
+
+void StandardScaler::ApplyRow(float* row) const {
+  for (size_t j = 0; j < mean_.size(); ++j) {
+    row[j] = (row[j] - mean_[j]) * inv_std_[j];
+  }
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,30 @@
+// Per-column feature standardization fitted on training data.
+#ifndef SRC_ML_SCALER_H_
+#define SRC_ML_SCALER_H_
+
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace cdmpp {
+
+class StandardScaler {
+ public:
+  // Fits per-column mean and std on the rows of x.
+  void Fit(const Matrix& x);
+  // In-place standardization; columns with ~zero variance are left centered.
+  void Apply(Matrix* x) const;
+  // Standardizes a single packed row buffer of `cols` floats.
+  void ApplyRow(float* row) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  int dim() const { return static_cast<int>(mean_.size()); }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> inv_std_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_ML_SCALER_H_

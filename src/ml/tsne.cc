@@ -1,0 +1,146 @@
+#include "src/ml/tsne.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/ml/kmeans.h"
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+// Binary-searches the Gaussian bandwidth for one row so the conditional
+// distribution hits the target perplexity.
+void FitRowSigma(const std::vector<double>& d2_row, int self, double perplexity,
+                 std::vector<double>* p_row) {
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_lo = 0.0;
+  double beta_hi = 1e30;
+  const int n = static_cast<int>(d2_row.size());
+  for (int iter = 0; iter < 50; ++iter) {
+    double sum = 0.0;
+    double sum_dp = 0.0;
+    for (int j = 0; j < n; ++j) {
+      if (j == self) {
+        (*p_row)[static_cast<size_t>(j)] = 0.0;
+        continue;
+      }
+      double p = std::exp(-beta * d2_row[static_cast<size_t>(j)]);
+      (*p_row)[static_cast<size_t>(j)] = p;
+      sum += p;
+      sum_dp += p * d2_row[static_cast<size_t>(j)];
+    }
+    if (sum <= 0.0) {
+      break;
+    }
+    double entropy = std::log(sum) + beta * sum_dp / sum;
+    double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) {
+      break;
+    }
+    if (diff > 0.0) {
+      beta_lo = beta;
+      beta = beta_hi > 1e29 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+    } else {
+      beta_hi = beta;
+      beta = (beta + beta_lo) / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (double p : *p_row) {
+    sum += p;
+  }
+  if (sum > 0.0) {
+    for (double& p : *p_row) {
+      p /= sum;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix TsneEmbed(const Matrix& points, const TsneOptions& opts, Rng* rng) {
+  const int n = points.rows();
+  CDMPP_CHECK(n >= 5);
+  const int dim = points.cols();
+
+  // Symmetrized affinities P.
+  std::vector<std::vector<double>> p(static_cast<size_t>(n),
+                                     std::vector<double>(static_cast<size_t>(n), 0.0));
+  {
+    std::vector<double> d2_row(static_cast<size_t>(n));
+    std::vector<std::vector<double>> cond(static_cast<size_t>(n),
+                                          std::vector<double>(static_cast<size_t>(n), 0.0));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        d2_row[static_cast<size_t>(j)] = SquaredDistance(points.Row(i), points.Row(j), dim);
+      }
+      FitRowSigma(d2_row, i, std::min(opts.perplexity, (n - 1) / 3.0),
+                  &cond[static_cast<size_t>(i)]);
+    }
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        p[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+            std::max(1e-12, (cond[static_cast<size_t>(i)][static_cast<size_t>(j)] +
+                             cond[static_cast<size_t>(j)][static_cast<size_t>(i)]) /
+                                (2.0 * n));
+      }
+    }
+  }
+
+  Matrix y(n, 2);
+  for (int i = 0; i < n; ++i) {
+    y.At(i, 0) = static_cast<float>(rng->Normal(0.0, 1e-2));
+    y.At(i, 1) = static_cast<float>(rng->Normal(0.0, 1e-2));
+  }
+  Matrix velocity(n, 2);
+
+  std::vector<double> q_num(static_cast<size_t>(n) * n, 0.0);
+  const int exaggeration_iters = opts.iterations / 4;
+  for (int iter = 0; iter < opts.iterations; ++iter) {
+    double exaggeration = iter < exaggeration_iters ? opts.early_exaggeration : 1.0;
+    // Student-t kernel numerators and normalizer.
+    double q_sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        double dx = y.At(i, 0) - y.At(j, 0);
+        double dy = y.At(i, 1) - y.At(j, 1);
+        double num = 1.0 / (1.0 + dx * dx + dy * dy);
+        q_num[static_cast<size_t>(i) * n + j] = num;
+        q_num[static_cast<size_t>(j) * n + i] = num;
+        q_sum += 2.0 * num;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    double momentum = iter < 100 ? 0.5 : 0.8;
+    for (int i = 0; i < n; ++i) {
+      double g0 = 0.0;
+      double g1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (j == i) {
+          continue;
+        }
+        double num = q_num[static_cast<size_t>(i) * n + j];
+        double q = std::max(num / q_sum, 1e-12);
+        double mult =
+            (exaggeration * p[static_cast<size_t>(i)][static_cast<size_t>(j)] - q) * num;
+        g0 += mult * (y.At(i, 0) - y.At(j, 0));
+        g1 += mult * (y.At(i, 1) - y.At(j, 1));
+      }
+      velocity.At(i, 0) = static_cast<float>(momentum * velocity.At(i, 0) -
+                                             opts.learning_rate * 4.0 * g0);
+      velocity.At(i, 1) = static_cast<float>(momentum * velocity.At(i, 1) -
+                                             opts.learning_rate * 4.0 * g1);
+    }
+    for (int i = 0; i < n; ++i) {
+      y.At(i, 0) += velocity.At(i, 0);
+      y.At(i, 1) += velocity.At(i, 1);
+    }
+  }
+  return y;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,23 @@
+// Minimal exact t-SNE (O(n^2)) for visualizing latent representations
+// (paper Figs. 8, 11, 16). Sized for a few hundred points.
+#ifndef SRC_ML_TSNE_H_
+#define SRC_ML_TSNE_H_
+
+#include "src/nn/matrix.h"
+#include "src/support/rng.h"
+
+namespace cdmpp {
+
+struct TsneOptions {
+  double perplexity = 20.0;
+  int iterations = 300;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;  // applied for the first quarter of iters
+};
+
+// Embeds the rows of `points` into 2-D. Deterministic given the rng seed.
+Matrix TsneEmbed(const Matrix& points, const TsneOptions& opts, Rng* rng);
+
+}  // namespace cdmpp
+
+#endif  // SRC_ML_TSNE_H_

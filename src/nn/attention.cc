@@ -1,0 +1,133 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+namespace cdmpp {
+
+namespace {
+
+// Copies the [seq_len, d_head] block for (sample, head) out of a packed
+// [batch * seq_len, d_model] matrix.
+Matrix ExtractBlock(const Matrix& packed, int sample, int head, int seq_len, int d_head) {
+  Matrix out(seq_len, d_head);
+  for (int t = 0; t < seq_len; ++t) {
+    const float* src = packed.Row(sample * seq_len + t) + head * d_head;
+    float* dst = out.Row(t);
+    for (int j = 0; j < d_head; ++j) {
+      dst[j] = src[j];
+    }
+  }
+  return out;
+}
+
+// Adds a [seq_len, d_head] block back into the packed layout.
+void AccumulateBlock(Matrix* packed, const Matrix& block, int sample, int head, int seq_len,
+                     int d_head) {
+  for (int t = 0; t < seq_len; ++t) {
+    float* dst = packed->Row(sample * seq_len + t) + head * d_head;
+    const float* src = block.Row(t);
+    for (int j = 0; j < d_head; ++j) {
+      dst[j] += src[j];
+    }
+  }
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng)
+    : d_model_(d_model), num_heads_(num_heads), d_head_(d_model / num_heads) {
+  CDMPP_CHECK(d_model % num_heads == 0);
+  wq_ = std::make_unique<Linear>(d_model, d_model, rng);
+  wk_ = std::make_unique<Linear>(d_model, d_model, rng);
+  wv_ = std::make_unique<Linear>(d_model, d_model, rng);
+  wo_ = std::make_unique<Linear>(d_model, d_model, rng);
+}
+
+Matrix MultiHeadSelfAttention::Forward(const Matrix& x, int seq_len) {
+  CDMPP_CHECK(seq_len > 0);
+  CDMPP_CHECK(x.rows() % seq_len == 0);
+  CDMPP_CHECK(x.cols() == d_model_);
+  cached_seq_len_ = seq_len;
+  cached_batch_ = x.rows() / seq_len;
+
+  cached_q_ = wq_->Forward(x);
+  cached_k_ = wk_->Forward(x);
+  cached_v_ = wv_->Forward(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Matrix context(x.rows(), d_model_);
+  cached_attn_.assign(static_cast<size_t>(cached_batch_) * num_heads_, Matrix());
+  for (int b = 0; b < cached_batch_; ++b) {
+    for (int h = 0; h < num_heads_; ++h) {
+      Matrix q = ExtractBlock(cached_q_, b, h, seq_len, d_head_);
+      Matrix k = ExtractBlock(cached_k_, b, h, seq_len, d_head_);
+      Matrix v = ExtractBlock(cached_v_, b, h, seq_len, d_head_);
+      Matrix scores = MatMulTransB(q, k);
+      scores.Scale(scale);
+      SoftmaxRows(&scores);
+      Matrix out = MatMul(scores, v);
+      AccumulateBlock(&context, out, b, h, seq_len, d_head_);
+      cached_attn_[static_cast<size_t>(b) * num_heads_ + h] = std::move(scores);
+    }
+  }
+  return wo_->Forward(context);
+}
+
+Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
+  const int seq_len = cached_seq_len_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+
+  Matrix dcontext = wo_->Backward(dy);
+  Matrix dq(dy.rows(), d_model_);
+  Matrix dk(dy.rows(), d_model_);
+  Matrix dv(dy.rows(), d_model_);
+
+  for (int b = 0; b < cached_batch_; ++b) {
+    for (int h = 0; h < num_heads_; ++h) {
+      const Matrix& attn = cached_attn_[static_cast<size_t>(b) * num_heads_ + h];
+      Matrix q = ExtractBlock(cached_q_, b, h, seq_len, d_head_);
+      Matrix k = ExtractBlock(cached_k_, b, h, seq_len, d_head_);
+      Matrix v = ExtractBlock(cached_v_, b, h, seq_len, d_head_);
+      Matrix dout = ExtractBlock(dcontext, b, h, seq_len, d_head_);
+
+      // out = attn x v.
+      Matrix dattn = MatMulTransB(dout, v);
+      Matrix dv_block = MatMulTransA(attn, dout);
+
+      // Softmax backward: ds = attn * (dattn - rowsum(dattn * attn)).
+      Matrix dscores(seq_len, seq_len);
+      for (int i = 0; i < seq_len; ++i) {
+        float dot = 0.0f;
+        for (int j = 0; j < seq_len; ++j) {
+          dot += dattn.At(i, j) * attn.At(i, j);
+        }
+        for (int j = 0; j < seq_len; ++j) {
+          dscores.At(i, j) = attn.At(i, j) * (dattn.At(i, j) - dot);
+        }
+      }
+      dscores.Scale(scale);
+
+      // scores = q x k^T.
+      Matrix dq_block = MatMul(dscores, k);
+      Matrix dk_block = MatMulTransA(dscores, q);
+
+      AccumulateBlock(&dq, dq_block, b, h, seq_len, d_head_);
+      AccumulateBlock(&dk, dk_block, b, h, seq_len, d_head_);
+      AccumulateBlock(&dv, dv_block, b, h, seq_len, d_head_);
+    }
+  }
+
+  Matrix dx = wq_->Backward(dq);
+  dx.AddInPlace(wk_->Backward(dk));
+  dx.AddInPlace(wv_->Backward(dv));
+  return dx;
+}
+
+void MultiHeadSelfAttention::CollectParams(std::vector<Param*>* out) {
+  wq_->CollectParams(out);
+  wk_->CollectParams(out);
+  wv_->CollectParams(out);
+  wo_->CollectParams(out);
+}
+
+}  // namespace cdmpp

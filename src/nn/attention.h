@@ -1,0 +1,43 @@
+// Multi-head self-attention over batches of equal-length sequences.
+//
+// Inputs are packed row-major as [batch * seq_len, d_model]. Because CDMPP
+// batches compact ASTs by leaf count (paper §5.1), every batch has a uniform
+// sequence length and no padding/masking is needed — this is exactly the
+// efficiency claim of the compact-AST design.
+#ifndef SRC_NN_ATTENTION_H_
+#define SRC_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/layers.h"
+
+namespace cdmpp {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng);
+
+  // x: [batch * seq_len, d_model]. Returns the same shape.
+  Matrix Forward(const Matrix& x, int seq_len);
+  Matrix Backward(const Matrix& dy);
+  void CollectParams(std::vector<Param*>* out) override;
+
+  int d_model() const { return d_model_; }
+
+ private:
+  int d_model_;
+  int num_heads_;
+  int d_head_;
+  std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+
+  // Forward caches.
+  int cached_seq_len_ = 0;
+  int cached_batch_ = 0;
+  Matrix cached_q_, cached_k_, cached_v_;
+  std::vector<Matrix> cached_attn_;  // per (sample, head): [L, L] softmax weights
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_NN_ATTENTION_H_

@@ -1,0 +1,278 @@
+#include "src/nn/layers.h"
+
+#include <cmath>
+
+namespace cdmpp {
+
+// ---------------- Linear ----------------
+
+Linear::Linear(int in_dim, int out_dim, Rng* rng) {
+  w_.InitXavier(in_dim, out_dim, rng);
+  b_.InitZero(1, out_dim);
+}
+
+Matrix Linear::Forward(const Matrix& x) {
+  CDMPP_CHECK(x.cols() == w_.value.rows());
+  cached_x_ = x;
+  Matrix y = MatMul(x, w_.value);
+  AddRowBroadcast(&y, b_.value);
+  return y;
+}
+
+Matrix Linear::Backward(const Matrix& dy) {
+  CDMPP_CHECK(dy.rows() == cached_x_.rows() && dy.cols() == w_.value.cols());
+  w_.grad.AddInPlace(MatMulTransA(cached_x_, dy));
+  b_.grad.AddInPlace(ColumnSum(dy));
+  return MatMulTransB(dy, w_.value);
+}
+
+void Linear::CollectParams(std::vector<Param*>* out) {
+  out->push_back(&w_);
+  out->push_back(&b_);
+}
+
+// ---------------- Relu ----------------
+
+Matrix Relu::Forward(const Matrix& x) {
+  cached_x_ = x;
+  Matrix y = x;
+  for (int i = 0; i < y.rows(); ++i) {
+    float* row = y.Row(i);
+    for (int j = 0; j < y.cols(); ++j) {
+      row[j] = std::max(0.0f, row[j]);
+    }
+  }
+  return y;
+}
+
+Matrix Relu::Backward(const Matrix& dy) {
+  CDMPP_CHECK(dy.rows() == cached_x_.rows() && dy.cols() == cached_x_.cols());
+  Matrix dx = dy;
+  for (int i = 0; i < dx.rows(); ++i) {
+    float* drow = dx.Row(i);
+    const float* xrow = cached_x_.Row(i);
+    for (int j = 0; j < dx.cols(); ++j) {
+      if (xrow[j] <= 0.0f) {
+        drow[j] = 0.0f;
+      }
+    }
+  }
+  return dx;
+}
+
+// ---------------- LayerNorm ----------------
+
+LayerNorm::LayerNorm(int dim) {
+  gamma_.InitZero(1, dim);
+  for (int j = 0; j < dim; ++j) {
+    gamma_.value.At(0, j) = 1.0f;
+  }
+  beta_.InitZero(1, dim);
+}
+
+Matrix LayerNorm::Forward(const Matrix& x) {
+  const int n = x.rows();
+  const int d = x.cols();
+  cached_norm_ = Matrix(n, d);
+  cached_inv_std_.assign(static_cast<size_t>(n), 0.0f);
+  Matrix y(n, d);
+  for (int i = 0; i < n; ++i) {
+    const float* row = x.Row(i);
+    float mean = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      mean += row[j];
+    }
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      var += (row[j] - mean) * (row[j] - mean);
+    }
+    var /= static_cast<float>(d);
+    float inv_std = 1.0f / std::sqrt(var + kEps);
+    cached_inv_std_[static_cast<size_t>(i)] = inv_std;
+    float* nrow = cached_norm_.Row(i);
+    float* yrow = y.Row(i);
+    for (int j = 0; j < d; ++j) {
+      nrow[j] = (row[j] - mean) * inv_std;
+      yrow[j] = nrow[j] * gamma_.value.At(0, j) + beta_.value.At(0, j);
+    }
+  }
+  return y;
+}
+
+Matrix LayerNorm::Backward(const Matrix& dy) {
+  const int n = dy.rows();
+  const int d = dy.cols();
+  CDMPP_CHECK(n == cached_norm_.rows() && d == cached_norm_.cols());
+  Matrix dx(n, d);
+  for (int i = 0; i < n; ++i) {
+    const float* dyrow = dy.Row(i);
+    const float* nrow = cached_norm_.Row(i);
+    float inv_std = cached_inv_std_[static_cast<size_t>(i)];
+    // dnorm = dy * gamma; dx = inv_std * (dnorm - mean(dnorm) - norm * mean(dnorm*norm)).
+    float mean_dn = 0.0f;
+    float mean_dn_n = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      float dn = dyrow[j] * gamma_.value.At(0, j);
+      mean_dn += dn;
+      mean_dn_n += dn * nrow[j];
+      gamma_.grad.At(0, j) += dyrow[j] * nrow[j];
+      beta_.grad.At(0, j) += dyrow[j];
+    }
+    mean_dn /= static_cast<float>(d);
+    mean_dn_n /= static_cast<float>(d);
+    float* dxrow = dx.Row(i);
+    for (int j = 0; j < d; ++j) {
+      float dn = dyrow[j] * gamma_.value.At(0, j);
+      dxrow[j] = inv_std * (dn - mean_dn - nrow[j] * mean_dn_n);
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::CollectParams(std::vector<Param*>* out) {
+  out->push_back(&gamma_);
+  out->push_back(&beta_);
+}
+
+// ---------------- Mlp ----------------
+
+Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
+  CDMPP_CHECK(dims.size() >= 2);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    linears_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+  }
+  relus_.resize(linears_.size() - 1);
+}
+
+Matrix Mlp::Forward(const Matrix& x) {
+  Matrix h = x;
+  for (size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i]->Forward(h);
+    if (i + 1 < linears_.size()) {
+      h = relus_[i].Forward(h);
+    }
+  }
+  return h;
+}
+
+Matrix Mlp::Backward(const Matrix& dy) {
+  Matrix d = dy;
+  for (size_t i = linears_.size(); i-- > 0;) {
+    if (i + 1 < linears_.size()) {
+      d = relus_[i].Backward(d);
+    }
+    d = linears_[i]->Backward(d);
+  }
+  return d;
+}
+
+void Mlp::CollectParams(std::vector<Param*>* out) {
+  for (auto& l : linears_) {
+    l->CollectParams(out);
+  }
+}
+
+// ---------------- LstmCell ----------------
+
+namespace {
+
+float Sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+LstmCell::LstmCell(int input_dim, int hidden_dim, Rng* rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  w_x_.InitXavier(input_dim, 4 * hidden_dim, rng);
+  w_h_.InitXavier(hidden_dim, 4 * hidden_dim, rng);
+  b_.InitZero(1, 4 * hidden_dim);
+}
+
+LstmCell::State LstmCell::ZeroState(int batch) const {
+  State s;
+  s.h = Matrix(batch, hidden_dim_);
+  s.c = Matrix(batch, hidden_dim_);
+  return s;
+}
+
+LstmCell::State LstmCell::Forward(const Matrix& x, const State& prev, Cache* cache) {
+  CDMPP_CHECK(x.cols() == input_dim_);
+  CDMPP_CHECK(prev.h.cols() == hidden_dim_ && prev.c.cols() == hidden_dim_);
+  CDMPP_CHECK(cache != nullptr);
+  const int n = x.rows();
+  cache->x = x;
+  cache->h_prev = prev.h;
+  cache->c_prev = prev.c;
+
+  Matrix pre = MatMul(x, w_x_.value);
+  pre.AddInPlace(MatMul(prev.h, w_h_.value));
+  AddRowBroadcast(&pre, b_.value);
+
+  cache->gates = Matrix(n, 4 * hidden_dim_);
+  State out;
+  out.h = Matrix(n, hidden_dim_);
+  out.c = Matrix(n, hidden_dim_);
+  cache->tanh_c = Matrix(n, hidden_dim_);
+  for (int r = 0; r < n; ++r) {
+    for (int j = 0; j < hidden_dim_; ++j) {
+      float i_g = Sigmoid(pre.At(r, j));
+      float f_g = Sigmoid(pre.At(r, hidden_dim_ + j));
+      float g_g = std::tanh(pre.At(r, 2 * hidden_dim_ + j));
+      float o_g = Sigmoid(pre.At(r, 3 * hidden_dim_ + j));
+      cache->gates.At(r, j) = i_g;
+      cache->gates.At(r, hidden_dim_ + j) = f_g;
+      cache->gates.At(r, 2 * hidden_dim_ + j) = g_g;
+      cache->gates.At(r, 3 * hidden_dim_ + j) = o_g;
+      float c = f_g * prev.c.At(r, j) + i_g * g_g;
+      out.c.At(r, j) = c;
+      float tc = std::tanh(c);
+      cache->tanh_c.At(r, j) = tc;
+      out.h.At(r, j) = o_g * tc;
+    }
+  }
+  cache->c = out.c;
+  return out;
+}
+
+LstmCell::InputGrads LstmCell::Backward(const Cache& cache, const Matrix& dh,
+                                        const Matrix& dc_in) {
+  const int n = dh.rows();
+  Matrix dpre(n, 4 * hidden_dim_);
+  InputGrads grads;
+  grads.dc_prev = Matrix(n, hidden_dim_);
+  for (int r = 0; r < n; ++r) {
+    for (int j = 0; j < hidden_dim_; ++j) {
+      float i_g = cache.gates.At(r, j);
+      float f_g = cache.gates.At(r, hidden_dim_ + j);
+      float g_g = cache.gates.At(r, 2 * hidden_dim_ + j);
+      float o_g = cache.gates.At(r, 3 * hidden_dim_ + j);
+      float tc = cache.tanh_c.At(r, j);
+      float dhv = dh.At(r, j);
+      float dc = dc_in.empty() ? 0.0f : dc_in.At(r, j);
+      dc += dhv * o_g * (1.0f - tc * tc);
+      float do_g = dhv * tc;
+      float di = dc * g_g;
+      float df = dc * cache.c_prev.At(r, j);
+      float dg = dc * i_g;
+      grads.dc_prev.At(r, j) = dc * f_g;
+      dpre.At(r, j) = di * i_g * (1.0f - i_g);
+      dpre.At(r, hidden_dim_ + j) = df * f_g * (1.0f - f_g);
+      dpre.At(r, 2 * hidden_dim_ + j) = dg * (1.0f - g_g * g_g);
+      dpre.At(r, 3 * hidden_dim_ + j) = do_g * o_g * (1.0f - o_g);
+    }
+  }
+  w_x_.grad.AddInPlace(MatMulTransA(cache.x, dpre));
+  w_h_.grad.AddInPlace(MatMulTransA(cache.h_prev, dpre));
+  b_.grad.AddInPlace(ColumnSum(dpre));
+  grads.dx = MatMulTransB(dpre, w_x_.value);
+  grads.dh_prev = MatMulTransB(dpre, w_h_.value);
+  return grads;
+}
+
+void LstmCell::CollectParams(std::vector<Param*>* out) {
+  out->push_back(&w_x_);
+  out->push_back(&w_h_);
+  out->push_back(&b_);
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,163 @@
+// Basic trainable layers with manual forward/backward passes.
+//
+// Convention: Forward caches whatever the matching Backward needs; Backward
+// takes dLoss/dOutput, *accumulates* parameter gradients, and returns
+// dLoss/dInput. Call ZeroGrad between steps.
+#ifndef SRC_NN_LAYERS_H_
+#define SRC_NN_LAYERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace cdmpp {
+
+// One trainable tensor with its gradient accumulator.
+struct Param {
+  Matrix value;
+  Matrix grad;
+
+  void InitXavier(int rows, int cols, Rng* rng) {
+    value = Matrix(rows, cols);
+    value.XavierInit(rng);
+    grad = Matrix(rows, cols);
+  }
+  void InitZero(int rows, int cols) {
+    value = Matrix(rows, cols);
+    grad = Matrix(rows, cols);
+  }
+};
+
+// Base class for all layers/models: exposes parameters to the optimizer.
+class Module {
+ public:
+  virtual ~Module() = default;
+  virtual void CollectParams(std::vector<Param*>* out) = 0;
+
+  void ZeroGrad() {
+    std::vector<Param*> params;
+    CollectParams(&params);
+    for (Param* p : params) {
+      p->grad.Zero();
+    }
+  }
+  size_t NumParams() {
+    std::vector<Param*> params;
+    CollectParams(&params);
+    size_t n = 0;
+    for (Param* p : params) {
+      n += p->value.size();
+    }
+    return n;
+  }
+};
+
+// y = x W + b, x: [N, in], W: [in, out].
+class Linear : public Module {
+ public:
+  Linear(int in_dim, int out_dim, Rng* rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+  void CollectParams(std::vector<Param*>* out) override;
+
+  int in_dim() const { return w_.value.rows(); }
+  int out_dim() const { return w_.value.cols(); }
+
+ private:
+  Param w_;
+  Param b_;
+  Matrix cached_x_;
+};
+
+// Elementwise max(0, x).
+class Relu : public Module {
+ public:
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+  void CollectParams(std::vector<Param*>*) override {}
+
+ private:
+  Matrix cached_x_;
+};
+
+// Per-row layer normalization with learnable gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+  void CollectParams(std::vector<Param*>* out) override;
+
+ private:
+  static constexpr float kEps = 1e-5f;
+  Param gamma_;
+  Param beta_;
+  Matrix cached_norm_;     // normalized activations (pre gamma/beta)
+  std::vector<float> cached_inv_std_;
+};
+
+// Multi-layer perceptron: Linear -> ReLU repeated, final Linear (no ReLU).
+class Mlp : public Module {
+ public:
+  // dims = {in, h1, ..., out}. Requires at least {in, out}.
+  Mlp(const std::vector<int>& dims, Rng* rng);
+
+  Matrix Forward(const Matrix& x);
+  Matrix Backward(const Matrix& dy);
+  void CollectParams(std::vector<Param*>* out) override;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> linears_;
+  std::vector<Relu> relus_;
+};
+
+// One LSTM step (used by the Tiramisu-style recursive baseline).
+// State tensors are [N, hidden]. The forward intermediates live in an
+// external cache so the same cell (shared weights) can be applied at many
+// tree positions before backward runs in reverse order.
+class LstmCell : public Module {
+ public:
+  LstmCell(int input_dim, int hidden_dim, Rng* rng);
+
+  struct State {
+    Matrix h;
+    Matrix c;
+  };
+
+  // Forward intermediates for one step.
+  struct Cache {
+    Matrix x, h_prev, c_prev;
+    Matrix gates;  // post-activation i, f, g, o stacked along columns
+    Matrix c, tanh_c;
+  };
+
+  // Gradients w.r.t. the step inputs.
+  struct InputGrads {
+    Matrix dx;
+    Matrix dh_prev;
+    Matrix dc_prev;
+  };
+
+  // Runs one step, filling `cache` for the matching Backward.
+  State Forward(const Matrix& x, const State& prev, Cache* cache);
+  // dh/dc are gradients w.r.t. the step outputs (dc may be empty).
+  InputGrads Backward(const Cache& cache, const Matrix& dh, const Matrix& dc);
+  void CollectParams(std::vector<Param*>* out) override;
+
+  int hidden_dim() const { return hidden_dim_; }
+  State ZeroState(int batch) const;
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  Param w_x_;  // [input, 4*hidden]: i, f, g, o gates stacked
+  Param w_h_;  // [hidden, 4*hidden]
+  Param b_;    // [1, 4*hidden]
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_NN_LAYERS_H_

@@ -1,0 +1,84 @@
+#include "src/nn/loss.h"
+
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+const char* LossKindName(LossKind kind) {
+  switch (kind) {
+    case LossKind::kMse:
+      return "MSE";
+    case LossKind::kMape:
+      return "MAPE";
+    case LossKind::kMspe:
+      return "MSPE";
+    case LossKind::kHybrid:
+      return "MSE+MAPE";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+double GuardedTarget(float y) {
+  double ay = std::abs(static_cast<double>(y));
+  return ay < kEps ? kEps : ay;
+}
+
+}  // namespace
+
+LossResult ComputeLoss(LossKind kind, const std::vector<float>& pred,
+                       const std::vector<float>& target, double lambda) {
+  CDMPP_CHECK(pred.size() == target.size());
+  CDMPP_CHECK(!pred.empty());
+  const double n = static_cast<double>(pred.size());
+  LossResult res;
+  res.grad.assign(pred.size(), 0.0f);
+
+  auto add_mse = [&](double weight) {
+    for (size_t i = 0; i < pred.size(); ++i) {
+      double d = static_cast<double>(pred[i]) - target[i];
+      res.value += weight * d * d / n;
+      res.grad[i] += static_cast<float>(weight * 2.0 * d / n);
+    }
+  };
+  auto add_mape = [&](double weight) {
+    for (size_t i = 0; i < pred.size(); ++i) {
+      double y = GuardedTarget(target[i]);
+      double d = static_cast<double>(pred[i]) - target[i];
+      res.value += weight * std::abs(d) / y / n;
+      res.grad[i] += static_cast<float>(weight * (d >= 0.0 ? 1.0 : -1.0) / y / n);
+    }
+  };
+  auto add_mspe = [&](double weight) {
+    for (size_t i = 0; i < pred.size(); ++i) {
+      double y = GuardedTarget(target[i]);
+      double d = static_cast<double>(pred[i]) - target[i];
+      res.value += weight * d * d / (y * y) / n;
+      res.grad[i] += static_cast<float>(weight * 2.0 * d / (y * y) / n);
+    }
+  };
+
+  switch (kind) {
+    case LossKind::kMse:
+      add_mse(1.0);
+      break;
+    case LossKind::kMape:
+      add_mape(1.0);
+      break;
+    case LossKind::kMspe:
+      add_mspe(1.0);
+      break;
+    case LossKind::kHybrid:
+      add_mse(1.0);
+      add_mape(lambda);
+      break;
+  }
+  return res;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,29 @@
+// Regression losses with analytic gradients: MSE, MAPE, MSPE and the paper's
+// scale-insensitive hybrid objective (Eqn. 3): MSE + lambda * MAPE.
+#ifndef SRC_NN_LOSS_H_
+#define SRC_NN_LOSS_H_
+
+#include <vector>
+
+namespace cdmpp {
+
+enum class LossKind { kMse, kMape, kMspe, kHybrid };
+
+const char* LossKindName(LossKind kind);
+
+// Computes the loss value and the gradient d(loss)/d(pred_i) in one pass.
+// `lambda` is the MAPE coefficient of the hybrid objective (paper: 1e-3 when
+// labels are raw latencies; with normalized labels, 0.1 keeps both terms at
+// the same order of magnitude, matching the paper's stated intent).
+// Targets with |y| < eps are guarded to avoid division blow-ups.
+struct LossResult {
+  double value = 0.0;
+  std::vector<float> grad;
+};
+
+LossResult ComputeLoss(LossKind kind, const std::vector<float>& pred,
+                       const std::vector<float>& target, double lambda);
+
+}  // namespace cdmpp
+
+#endif  // SRC_NN_LOSS_H_

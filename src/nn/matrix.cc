@@ -1,0 +1,151 @@
+#include "src/nn/matrix.h"
+
+#include <cmath>
+
+namespace cdmpp {
+
+void Matrix::XavierInit(Rng* rng) {
+  CDMPP_CHECK(rng != nullptr);
+  double limit = std::sqrt(6.0 / (rows_ + cols_));
+  for (float& v : data_) {
+    v = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+}
+
+void Matrix::AddInPlace(const Matrix& other) {
+  CDMPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+}
+
+void Matrix::AddScaled(const Matrix& other, float scale) {
+  CDMPP_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+void Matrix::Scale(float scale) {
+  for (float& v : data_) {
+    v *= scale;
+  }
+}
+
+double Matrix::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) {
+    s += static_cast<double>(v) * v;
+  }
+  return s;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  CDMPP_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    float* out_row = out.Row(i);
+    const float* a_row = a.Row(i);
+    for (int p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = b.Row(p);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  CDMPP_CHECK(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  const int k = a.rows();
+  const int m = a.cols();
+  const int n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const float* a_row = a.Row(p);
+    const float* b_row = b.Row(p);
+    for (int i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* out_row = out.Row(i);
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  CDMPP_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* a_row = a.Row(i);
+    float* out_row = out.Row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* b_row = b.Row(j);
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+void AddRowBroadcast(Matrix* x, const Matrix& bias) {
+  CDMPP_CHECK(bias.rows() == 1 && bias.cols() == x->cols());
+  const float* b = bias.Row(0);
+  for (int i = 0; i < x->rows(); ++i) {
+    float* row = x->Row(i);
+    for (int j = 0; j < x->cols(); ++j) {
+      row[j] += b[j];
+    }
+  }
+}
+
+Matrix ColumnSum(const Matrix& x) {
+  Matrix out(1, x.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    const float* row = x.Row(i);
+    for (int j = 0; j < x.cols(); ++j) {
+      out.At(0, j) += row[j];
+    }
+  }
+  return out;
+}
+
+void SoftmaxRows(Matrix* x) {
+  for (int i = 0; i < x->rows(); ++i) {
+    float* row = x->Row(i);
+    float mx = row[0];
+    for (int j = 1; j < x->cols(); ++j) {
+      mx = std::max(mx, row[j]);
+    }
+    float sum = 0.0f;
+    for (int j = 0; j < x->cols(); ++j) {
+      row[j] = std::exp(row[j] - mx);
+      sum += row[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < x->cols(); ++j) {
+      row[j] *= inv;
+    }
+  }
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,80 @@
+#include "src/nn/optimizer.h"
+
+#include <cmath>
+
+namespace cdmpp {
+
+Sgd::Sgd(std::vector<Param*> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) {
+    velocity_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    Matrix& vel = velocity_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      float g = p->grad.data()[j];
+      vel.data()[j] = static_cast<float>(momentum_) * vel.data()[j] + g;
+      p->value.data()[j] -= static_cast<float>(lr_) * vel.data()[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, double lr, double weight_decay, double beta1,
+           double beta2, double eps)
+    : Optimizer(std::move(params)),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (size_t j = 0; j < p->value.size(); ++j) {
+      // Decoupled weight decay (AdamW style).
+      float g = p->grad.data()[j];
+      m.data()[j] = static_cast<float>(beta1_ * m.data()[j] + (1.0 - beta1_) * g);
+      v.data()[j] = static_cast<float>(beta2_ * v.data()[j] + (1.0 - beta2_) * g * g);
+      double m_hat = m.data()[j] / bias1;
+      double v_hat = v.data()[j] / bias2;
+      double update = m_hat / (std::sqrt(v_hat) + eps_) + weight_decay_ * p->value.data()[j];
+      p->value.data()[j] -= static_cast<float>(lr_ * update);
+    }
+  }
+}
+
+CyclicLr::CyclicLr(double base_lr, double max_lr, int64_t step_size)
+    : base_lr_(base_lr), max_lr_(max_lr), step_size_(step_size) {
+  CDMPP_CHECK(step_size > 0);
+  CDMPP_CHECK(max_lr >= base_lr);
+}
+
+double CyclicLr::LrAt(int64_t step) const {
+  int64_t cycle_pos = step % (2 * step_size_);
+  double frac = static_cast<double>(cycle_pos) / static_cast<double>(step_size_);
+  if (frac > 1.0) {
+    frac = 2.0 - frac;  // descending half
+  }
+  return base_lr_ + (max_lr_ - base_lr_) * frac;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,72 @@
+#include "src/nn/transformer.h"
+
+namespace cdmpp {
+
+TransformerEncoderLayer::TransformerEncoderLayer(int d_model, int num_heads, int d_ff, Rng* rng)
+    : attn_(d_model, num_heads, rng), norm1_(d_model), norm2_(d_model) {
+  ff1_ = std::make_unique<Linear>(d_model, d_ff, rng);
+  ff2_ = std::make_unique<Linear>(d_ff, d_model, rng);
+}
+
+Matrix TransformerEncoderLayer::Forward(const Matrix& x, int seq_len) {
+  Matrix attn_out = attn_.Forward(x, seq_len);
+  attn_out.AddInPlace(x);  // residual
+  Matrix h = norm1_.Forward(attn_out);
+
+  Matrix ff = ff2_->Forward(ff_relu_.Forward(ff1_->Forward(h)));
+  ff.AddInPlace(h);  // residual
+  return norm2_.Forward(ff);
+}
+
+Matrix TransformerEncoderLayer::Backward(const Matrix& dy) {
+  Matrix d_ff_sum = norm2_.Backward(dy);
+  // d_ff_sum flows to both the FFN branch and the residual (h).
+  Matrix dh = ff1_->Backward(ff_relu_.Backward(ff2_->Backward(d_ff_sum)));
+  dh.AddInPlace(d_ff_sum);
+
+  Matrix d_attn_sum = norm1_.Backward(dh);
+  Matrix dx = attn_.Backward(d_attn_sum);
+  dx.AddInPlace(d_attn_sum);
+  return dx;
+}
+
+void TransformerEncoderLayer::CollectParams(std::vector<Param*>* out) {
+  attn_.CollectParams(out);
+  norm1_.CollectParams(out);
+  ff1_->CollectParams(out);
+  ff2_->CollectParams(out);
+  norm2_.CollectParams(out);
+}
+
+TransformerEncoder::TransformerEncoder(int d_model, int num_heads, int d_ff, int num_layers,
+                                       Rng* rng)
+    : d_model_(d_model) {
+  CDMPP_CHECK(num_layers >= 1);
+  for (int i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(d_model, num_heads, d_ff, rng));
+  }
+}
+
+Matrix TransformerEncoder::Forward(const Matrix& x, int seq_len) {
+  Matrix h = x;
+  for (auto& layer : layers_) {
+    h = layer->Forward(h, seq_len);
+  }
+  return h;
+}
+
+Matrix TransformerEncoder::Backward(const Matrix& dy) {
+  Matrix d = dy;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    d = layers_[i]->Backward(d);
+  }
+  return d;
+}
+
+void TransformerEncoder::CollectParams(std::vector<Param*>* out) {
+  for (auto& layer : layers_) {
+    layer->CollectParams(out);
+  }
+}
+
+}  // namespace cdmpp

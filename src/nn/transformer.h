@@ -1,0 +1,49 @@
+// Transformer encoder layer and stacked encoder (post-LN as in the original
+// "Attention Is All You Need", which the paper's predictor follows: Fig. 4).
+#ifndef SRC_NN_TRANSFORMER_H_
+#define SRC_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/attention.h"
+
+namespace cdmpp {
+
+// One encoder block: x -> LN(x + MHA(x)) -> LN(.. + FFN(..)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int d_model, int num_heads, int d_ff, Rng* rng);
+
+  Matrix Forward(const Matrix& x, int seq_len);
+  Matrix Backward(const Matrix& dy);
+  void CollectParams(std::vector<Param*>* out) override;
+
+ private:
+  MultiHeadSelfAttention attn_;
+  LayerNorm norm1_;
+  std::unique_ptr<Linear> ff1_;
+  Relu ff_relu_;
+  std::unique_ptr<Linear> ff2_;
+  LayerNorm norm2_;
+};
+
+// A stack of encoder layers.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int d_model, int num_heads, int d_ff, int num_layers, Rng* rng);
+
+  Matrix Forward(const Matrix& x, int seq_len);
+  Matrix Backward(const Matrix& dy);
+  void CollectParams(std::vector<Param*>* out) override;
+
+  int d_model() const { return d_model_; }
+
+ private:
+  int d_model_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_NN_TRANSFORMER_H_

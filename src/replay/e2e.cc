@@ -1,0 +1,77 @@
+#include "src/replay/e2e.h"
+
+#include "src/device/simulator.h"
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+std::string OpSignature(const Task& task) {
+  std::string sig = OpKindName(task.kind);
+  for (int64_t d : task.dims) {
+    sig += "_" + std::to_string(d);
+  }
+  sig += task.fused_relu ? "_relu" : "";
+  return sig;
+}
+
+}  // namespace
+
+NetworkSchedules ChooseSchedules(const NetworkDef& net, uint64_t seed) {
+  Rng rng(seed);
+  NetworkSchedules out;
+  std::map<std::string, ScheduleDesc> by_sig;
+  for (size_t i = 0; i < net.ops.size(); ++i) {
+    std::string sig = OpSignature(net.ops[i].task);
+    auto it = by_sig.find(sig);
+    if (it == by_sig.end()) {
+      it = by_sig.emplace(std::move(sig), SampleSchedule(net.ops[i].task, &rng)).first;
+    }
+    out.by_op[static_cast<int>(i)] = it->second;
+  }
+  return out;
+}
+
+double E2eGroundTruth(const NetworkDef& net, const DeviceSpec& device,
+                      const NetworkSchedules& schedules) {
+  return ReplayNetwork(net, device, [&](const NetworkOp& op) {
+    int op_index = -1;
+    for (size_t i = 0; i < net.ops.size(); ++i) {
+      if (&net.ops[i] == &op) {
+        op_index = static_cast<int>(i);
+        break;
+      }
+    }
+    CDMPP_CHECK(op_index >= 0);
+    TensorProgram prog = GenerateProgram(op.task, schedules.by_op.at(op_index));
+    return SimulateLatencyDeterministic(prog, device);
+  });
+}
+
+double E2ePredicted(const NetworkDef& net, const DeviceSpec& device,
+                    const NetworkSchedules& schedules,
+                    const std::function<double(const CompactAst&, int)>& predict_ast) {
+  // Cost-model inference once per distinct task signature (§5.5).
+  std::map<std::string, double> cache;
+  return ReplayNetwork(net, device, [&](const NetworkOp& op) {
+    std::string sig = OpSignature(op.task);
+    auto it = cache.find(sig);
+    if (it == cache.end()) {
+      int op_index = -1;
+      for (size_t i = 0; i < net.ops.size(); ++i) {
+        if (&net.ops[i] == &op) {
+          op_index = static_cast<int>(i);
+          break;
+        }
+      }
+      CDMPP_CHECK(op_index >= 0);
+      TensorProgram prog = GenerateProgram(op.task, schedules.by_op.at(op_index));
+      CompactAst ast = ExtractCompactAst(prog);
+      it = cache.emplace(std::move(sig), predict_ast(ast, device.id)).first;
+    }
+    return it->second;
+  });
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,41 @@
+// End-to-end network latency helpers built on the replayer: pick one random
+// schedule per task (as the paper does for the e2e experiments: "we break
+// each DNN model down into a set of tasks and randomly sample a schedule for
+// each task"), then replay with ground-truth or cost-model node latencies.
+#ifndef SRC_REPLAY_E2E_H_
+#define SRC_REPLAY_E2E_H_
+
+#include <map>
+
+#include "src/ast/compact_ast.h"
+#include "src/replay/replayer.h"
+#include "src/tir/schedule.h"
+
+namespace cdmpp {
+
+// One chosen scheduled program per distinct task signature of the network.
+struct NetworkSchedules {
+  // Keyed by op index; ops sharing a task share the schedule (and therefore
+  // the cost-model query, as in §5.5's TIR-kernel dedup).
+  std::map<int, ScheduleDesc> by_op;
+};
+
+// Deterministically samples one schedule per op (shared across ops with the
+// same task signature).
+NetworkSchedules ChooseSchedules(const NetworkDef& net, uint64_t seed);
+
+// Ground-truth end-to-end latency: per-node latencies from the device
+// simulator, replayed with Algorithm 2.
+double E2eGroundTruth(const NetworkDef& net, const DeviceSpec& device,
+                      const NetworkSchedules& schedules);
+
+// Cost-model end-to-end latency: per-node latencies from `predict_ast`
+// (compact AST + device id -> seconds), replayed identically. Cost-model
+// inference is performed once per distinct task (TIR-kernel dedup).
+double E2ePredicted(const NetworkDef& net, const DeviceSpec& device,
+                    const NetworkSchedules& schedules,
+                    const std::function<double(const CompactAst&, int)>& predict_ast);
+
+}  // namespace cdmpp
+
+#endif  // SRC_REPLAY_E2E_H_

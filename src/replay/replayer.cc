@@ -1,0 +1,144 @@
+#include "src/replay/replayer.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+int ReplayQueues(const DeviceSpec& device) {
+  // HL-100: 3 GEMM engines modeled as 3 queues (§5.5). Other devices replay
+  // on a single stream.
+  return device.cls == DeviceClass::kAccelerator ? 3 : 1;
+}
+
+namespace {
+
+bool IsGemmClass(OpKind kind) {
+  return kind == OpKind::kConv2d || kind == OpKind::kDense || kind == OpKind::kBatchMatmul;
+}
+
+}  // namespace
+
+Dfg BuildDfg(const NetworkDef& net, const DeviceSpec& device, const OpLatencyFn& latency_fn) {
+  const bool split_gemm = device.cls == DeviceClass::kAccelerator;
+  const double gap = device.launch_overhead_us * 1e-6;
+
+  Dfg dfg;
+  // Map op index -> the dfg node ids representing it (1 or 3 sub-nodes).
+  std::vector<std::vector<int>> op_nodes(net.ops.size());
+  for (size_t i = 0; i < net.ops.size(); ++i) {
+    const NetworkOp& op = net.ops[i];
+    double latency = latency_fn(op);
+    CDMPP_CHECK(latency >= 0.0);
+    int replicas = (split_gemm && IsGemmClass(op.task.kind)) ? 3 : 1;
+    for (int r = 0; r < replicas; ++r) {
+      DfgNode node;
+      node.op_index = static_cast<int>(i);
+      node.duration_seconds = latency / replicas;
+      node.gap_seconds = gap;
+      node.queue_hint = replicas == 3 ? r : -1;
+      op_nodes[i].push_back(static_cast<int>(dfg.nodes.size()));
+      dfg.nodes.push_back(std::move(node));
+    }
+  }
+  // Dependencies: every sub-node of a dependent op waits on every sub-node of
+  // each of its predecessors.
+  for (size_t i = 0; i < net.ops.size(); ++i) {
+    for (int dep : net.ops[i].deps) {
+      for (int from : op_nodes[static_cast<size_t>(dep)]) {
+        for (int to : op_nodes[i]) {
+          dfg.nodes[static_cast<size_t>(from)].successors.push_back(to);
+          dfg.nodes[static_cast<size_t>(to)].indegree++;
+        }
+      }
+    }
+  }
+  return dfg;
+}
+
+ReplayResult Replay(const Dfg& dfg, int num_queues) {
+  CDMPP_CHECK(num_queues >= 1);
+  ReplayResult result;
+  result.start_times.assign(dfg.nodes.size(), 0.0);
+
+  // Per-node state.
+  std::vector<int> ref(dfg.nodes.size());
+  std::vector<double> ready_time(dfg.nodes.size(), 0.0);
+  for (size_t i = 0; i < dfg.nodes.size(); ++i) {
+    ref[i] = dfg.nodes[i].indegree;
+  }
+
+  // Per-queue frontier ordered by readyTime (Algorithm 2's priority queues).
+  using Entry = std::pair<double, int>;  // (readyTime, node)
+  std::vector<std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>> queues(
+      static_cast<size_t>(num_queues));
+  std::vector<double> device_time(static_cast<size_t>(num_queues), 0.0);
+
+  auto queue_of = [&](int node) {
+    int hint = dfg.nodes[static_cast<size_t>(node)].queue_hint;
+    return hint >= 0 && hint < num_queues ? hint : 0;
+  };
+  for (size_t i = 0; i < dfg.nodes.size(); ++i) {
+    if (ref[i] == 0) {
+      queues[static_cast<size_t>(queue_of(static_cast<int>(i)))].emplace(0.0,
+                                                                         static_cast<int>(i));
+    }
+  }
+
+  size_t executed = 0;
+  while (true) {
+    // Select the non-empty queue whose next op can start earliest
+    // (Algorithm 2 line 14: first device with non-empty queue, devices kept
+    // sorted by deviceTime).
+    int best_q = -1;
+    double best_start = 0.0;
+    for (int q = 0; q < num_queues; ++q) {
+      if (queues[static_cast<size_t>(q)].empty()) {
+        continue;
+      }
+      double start = std::max(device_time[static_cast<size_t>(q)],
+                              queues[static_cast<size_t>(q)].top().first);
+      if (best_q < 0 || start < best_start) {
+        best_q = q;
+        best_start = start;
+      }
+    }
+    if (best_q < 0) {
+      break;  // stop simulation
+    }
+    auto [rt, u] = queues[static_cast<size_t>(best_q)].top();
+    queues[static_cast<size_t>(best_q)].pop();
+    const DfgNode& node = dfg.nodes[static_cast<size_t>(u)];
+    double start = std::max(device_time[static_cast<size_t>(best_q)], rt);
+    result.start_times[static_cast<size_t>(u)] = start;
+    double finish = start + node.duration_seconds + node.gap_seconds;
+    device_time[static_cast<size_t>(best_q)] = finish;
+    ++executed;
+
+    for (int succ : node.successors) {
+      ready_time[static_cast<size_t>(succ)] =
+          std::max(ready_time[static_cast<size_t>(succ)], finish);
+      if (--ref[static_cast<size_t>(succ)] == 0) {
+        queues[static_cast<size_t>(queue_of(succ))].emplace(
+            ready_time[static_cast<size_t>(succ)], succ);
+      }
+    }
+  }
+  CDMPP_CHECK_MSG(executed == dfg.nodes.size(), "cycle in DFG");
+
+  result.iteration_seconds = 0.0;
+  for (double t : device_time) {
+    result.iteration_seconds = std::max(result.iteration_seconds, t);
+  }
+  return result;
+}
+
+double ReplayNetwork(const NetworkDef& net, const DeviceSpec& device,
+                     const OpLatencyFn& latency_fn) {
+  Dfg dfg = BuildDfg(net, device, latency_fn);
+  return Replay(dfg, ReplayQueues(device)).iteration_seconds;
+}
+
+}  // namespace cdmpp

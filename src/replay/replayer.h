@@ -1,0 +1,64 @@
+// End-to-end DNN latency prediction via replay (paper §5.5, Appendix C):
+// build a TIR-based data-flow graph for a network, label each node with a
+// per-tensor-program latency (predicted by a cost model or simulated as
+// ground truth), and simulate the execution order with the topological
+// priority-queue algorithm of Algorithm 2.
+//
+// Device-specific replay behaviour: Habana HL-100 has 3 GEMM engines, so
+// GEMM/conv nodes are split into 3 parallel sub-operators across 3 execution
+// queues (paper §5.5).
+#ifndef SRC_REPLAY_REPLAYER_H_
+#define SRC_REPLAY_REPLAYER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/dataset/model_zoo.h"
+#include "src/device/device.h"
+
+namespace cdmpp {
+
+// One node of the replayable DFG.
+struct DfgNode {
+  int op_index = -1;            // index into the network's op list
+  double duration_seconds = 0.0;
+  double gap_seconds = 0.0;     // fixed inter-kernel gap (launch overhead)
+  std::vector<int> successors;
+  int indegree = 0;
+  int queue_hint = -1;          // preferred execution queue (-1 = any)
+};
+
+struct Dfg {
+  std::vector<DfgNode> nodes;
+};
+
+// Timing outcome of a replay.
+struct ReplayResult {
+  double iteration_seconds = 0.0;
+  // Per node: start time (seconds); aligned with Dfg::nodes.
+  std::vector<double> start_times;
+};
+
+// Callback giving the latency (seconds) of one network op on the device.
+using OpLatencyFn = std::function<double(const NetworkOp& op)>;
+
+// Builds the DFG of `net` for `device`, querying `latency_fn` per op.
+// On HL-100, GEMM-class ops are split into 3 parallel sub-nodes of one third
+// the duration, each pinned to a different GEMM-engine queue.
+Dfg BuildDfg(const NetworkDef& net, const DeviceSpec& device, const OpLatencyFn& latency_fn);
+
+// Algorithm 2: topological simulation over `num_queues` execution queues.
+// Nodes with queue_hint >= 0 run on that queue; others on queue 0.
+ReplayResult Replay(const Dfg& dfg, int num_queues);
+
+// Convenience: end-to-end latency of a network on a device.
+double ReplayNetwork(const NetworkDef& net, const DeviceSpec& device,
+                     const OpLatencyFn& latency_fn);
+
+// Number of execution queues the replayer uses for a device.
+int ReplayQueues(const DeviceSpec& device);
+
+}  // namespace cdmpp
+
+#endif  // SRC_REPLAY_REPLAYER_H_

@@ -1,0 +1,91 @@
+#include "src/search/schedule_search.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+double Measure(const Task& task, const ScheduleDesc& sched, const DeviceSpec& device) {
+  TensorProgram prog = GenerateProgram(task, sched);
+  return SimulateLatencyDeterministic(prog, device);
+}
+
+}  // namespace
+
+SearchCurve EvolutionarySearch(const Task& task, const DeviceSpec& device,
+                               const CostModelFn& cost_model, const SearchOptions& opts) {
+  Rng rng(opts.seed);
+  SearchCurve curve;
+  double best = std::numeric_limits<double>::max();
+
+  // Seed population.
+  std::vector<ScheduleDesc> population;
+  population.reserve(static_cast<size_t>(opts.population));
+  for (int i = 0; i < opts.population; ++i) {
+    population.push_back(SampleSchedule(task, &rng));
+  }
+  std::vector<ScheduleDesc> elite;  // measured good candidates seed mutations
+
+  for (int round = 0; round < opts.rounds; ++round) {
+    // Rank the population with the cost model.
+    std::vector<std::pair<double, size_t>> scored;
+    scored.reserve(population.size());
+    for (size_t i = 0; i < population.size(); ++i) {
+      TensorProgram prog = GenerateProgram(task, population[i]);
+      CompactAst ast = ExtractCompactAst(prog);
+      scored.emplace_back(cost_model(ast, device.id), i);
+    }
+    std::sort(scored.begin(), scored.end());
+
+    // Measure the top candidates on the "device".
+    for (int m = 0; m < opts.measured_per_round && m < static_cast<int>(scored.size()); ++m) {
+      const ScheduleDesc& cand = population[scored[static_cast<size_t>(m)].second];
+      double latency = Measure(task, cand, device);
+      ++curve.total_measurements;
+      if (latency < best) {
+        best = latency;
+        elite.clear();
+        elite.push_back(cand);
+      } else if (elite.size() < 4) {
+        elite.push_back(cand);
+      }
+    }
+    curve.best_after_round.push_back(best);
+
+    // Next generation: mutations of elites + fresh samples.
+    std::vector<ScheduleDesc> next;
+    next.reserve(population.size());
+    while (static_cast<int>(next.size()) < opts.population) {
+      if (!elite.empty() && rng.Bernoulli(0.6)) {
+        next.push_back(MutateSchedule(task, rng.Choice(elite), &rng));
+      } else {
+        next.push_back(SampleSchedule(task, &rng));
+      }
+    }
+    population = std::move(next);
+  }
+  curve.final_best = best;
+  return curve;
+}
+
+SearchCurve RandomSearch(const Task& task, const DeviceSpec& device, const SearchOptions& opts) {
+  Rng rng(opts.seed);
+  SearchCurve curve;
+  double best = std::numeric_limits<double>::max();
+  for (int round = 0; round < opts.rounds; ++round) {
+    for (int m = 0; m < opts.measured_per_round; ++m) {
+      double latency = Measure(task, SampleSchedule(task, &rng), device);
+      ++curve.total_measurements;
+      best = std::min(best, latency);
+    }
+    curve.best_after_round.push_back(best);
+  }
+  curve.final_best = best;
+  return curve;
+}
+
+}  // namespace cdmpp

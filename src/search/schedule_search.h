@@ -1,0 +1,44 @@
+// Ansor-style evolutionary schedule search guided by a cost model
+// (paper §7.5, Fig. 14(b)): each round mutates a population of candidate
+// schedules, ranks them with the cost model, "measures" the top candidates on
+// the device (here: the simulator), and tracks the best latency found.
+#ifndef SRC_SEARCH_SCHEDULE_SEARCH_H_
+#define SRC_SEARCH_SCHEDULE_SEARCH_H_
+
+#include <functional>
+
+#include "src/ast/compact_ast.h"
+#include "src/device/simulator.h"
+#include "src/tir/schedule.h"
+
+namespace cdmpp {
+
+struct SearchOptions {
+  int rounds = 40;
+  int population = 24;
+  int measured_per_round = 4;  // candidates actually "profiled" per round
+  uint64_t seed = 31;
+};
+
+struct SearchCurve {
+  // Best measured latency (seconds) after each round; non-increasing.
+  std::vector<double> best_after_round;
+  double final_best = 0.0;
+  int total_measurements = 0;
+};
+
+// Cost model interface: estimated latency (seconds) of a candidate program.
+using CostModelFn = std::function<double(const CompactAst& ast, int device_id)>;
+
+// Searches schedules for one task on one device. The cost model prunes the
+// population each round; only `measured_per_round` candidates touch the
+// simulator (the expensive "real measurement").
+SearchCurve EvolutionarySearch(const Task& task, const DeviceSpec& device,
+                               const CostModelFn& cost_model, const SearchOptions& opts);
+
+// Baseline: random search measuring the same number of candidates.
+SearchCurve RandomSearch(const Task& task, const DeviceSpec& device, const SearchOptions& opts);
+
+}  // namespace cdmpp
+
+#endif  // SRC_SEARCH_SCHEDULE_SEARCH_H_

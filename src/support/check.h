@@ -1,0 +1,30 @@
+// Lightweight assertion macros used across the CDMPP library.
+//
+// CDMPP_CHECK fires in every build type: a failed check is a programmer error
+// (violated precondition or invariant), so we print the condition and abort.
+// The library does not throw exceptions across API boundaries.
+#ifndef SRC_SUPPORT_CHECK_H_
+#define SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define CDMPP_CHECK(cond)                                                                \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CDMPP_CHECK failed at %s:%d: %s\n", __FILE__, __LINE__,      \
+                   #cond);                                                               \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#define CDMPP_CHECK_MSG(cond, msg)                                                       \
+  do {                                                                                   \
+    if (!(cond)) {                                                                       \
+      std::fprintf(stderr, "CDMPP_CHECK failed at %s:%d: %s (%s)\n", __FILE__, __LINE__, \
+                   #cond, msg);                                                          \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (0)
+
+#endif  // SRC_SUPPORT_CHECK_H_

@@ -1,0 +1,153 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double x : xs) {
+    sum += x;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) {
+    ss += (x - mu) * (x - mu);
+  }
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  CDMPP_CHECK(!xs.empty());
+  CDMPP_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  CDMPP_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) {
+    return 0.0;
+  }
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Skewness(const std::vector<double>& xs) {
+  if (xs.size() < 3) {
+    return 0.0;
+  }
+  double mu = Mean(xs);
+  double sigma = Stddev(xs);
+  if (sigma <= 0.0) {
+    return 0.0;
+  }
+  double s3 = 0.0;
+  for (double x : xs) {
+    double d = (x - mu) / sigma;
+    s3 += d * d * d;
+  }
+  return s3 / static_cast<double>(xs.size());
+}
+
+std::vector<size_t> Histogram(const std::vector<double>& xs, size_t bins) {
+  CDMPP_CHECK(bins > 0);
+  std::vector<size_t> counts(bins, 0);
+  if (xs.empty()) {
+    return counts;
+  }
+  auto [mn_it, mx_it] = std::minmax_element(xs.begin(), xs.end());
+  double mn = *mn_it;
+  double mx = *mx_it;
+  double width = mx - mn;
+  if (width <= 0.0) {
+    counts[0] = xs.size();
+    return counts;
+  }
+  for (double x : xs) {
+    size_t b = static_cast<size_t>((x - mn) / width * static_cast<double>(bins));
+    if (b >= bins) {
+      b = bins - 1;
+    }
+    counts[b]++;
+  }
+  return counts;
+}
+
+double Mape(const std::vector<double>& pred, const std::vector<double>& truth) {
+  CDMPP_CHECK(pred.size() == truth.size());
+  double sum = 0.0;
+  size_t n = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (truth[i] == 0.0) {
+      continue;
+    }
+    sum += std::abs(pred[i] - truth[i]) / std::abs(truth[i]);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double Rmse(const std::vector<double>& pred, const std::vector<double>& truth) {
+  CDMPP_CHECK(pred.size() == truth.size());
+  if (pred.empty()) {
+    return 0.0;
+  }
+  double ss = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    double d = pred[i] - truth[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(pred.size()));
+}
+
+double AccuracyWithin(const std::vector<double>& pred, const std::vector<double>& truth,
+                      double tol) {
+  CDMPP_CHECK(pred.size() == truth.size());
+  if (pred.empty()) {
+    return 0.0;
+  }
+  size_t hit = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    if (truth[i] == 0.0) {
+      continue;
+    }
+    ++n;
+    if (std::abs(pred[i] - truth[i]) / std::abs(truth[i]) <= tol) {
+      ++hit;
+    }
+  }
+  return n == 0 ? 0.0 : static_cast<double>(hit) / static_cast<double>(n);
+}
+
+}  // namespace cdmpp

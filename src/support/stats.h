@@ -1,0 +1,44 @@
+// Small numeric statistics helpers shared by the ML utilities, the
+// evaluation harness and the benchmark tables.
+#ifndef SRC_SUPPORT_STATS_H_
+#define SRC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cdmpp {
+
+// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+// Population standard deviation; 0 for fewer than two elements.
+double Stddev(const std::vector<double>& xs);
+
+// Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+double Percentile(std::vector<double> xs, double p);
+
+// Pearson correlation coefficient; 0 if either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Skewness (Fisher-Pearson, population form); 0 for degenerate inputs.
+double Skewness(const std::vector<double>& xs);
+
+// Fixed-width histogram over [min(xs), max(xs)] with `bins` buckets.
+// Returns per-bucket counts; the last bucket is right-inclusive.
+std::vector<size_t> Histogram(const std::vector<double>& xs, size_t bins);
+
+// Mean absolute percentage error: mean(|pred - truth| / truth).
+// Entries with truth == 0 are skipped.
+double Mape(const std::vector<double>& pred, const std::vector<double>& truth);
+
+// Root mean squared error.
+double Rmse(const std::vector<double>& pred, const std::vector<double>& truth);
+
+// Fraction of predictions within `tol` relative error of the truth
+// (the paper's "20% accuracy" metric with tol = 0.2).
+double AccuracyWithin(const std::vector<double>& pred, const std::vector<double>& truth,
+                      double tol);
+
+}  // namespace cdmpp
+
+#endif  // SRC_SUPPORT_STATS_H_

@@ -1,0 +1,85 @@
+#include "src/support/table.h"
+
+#include <cstdio>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+  CDMPP_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  CDMPP_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::string s = ToString();
+  std::fwrite(s.data(), 1, s.size(), out);
+  std::fflush(out);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+bool WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<double>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  for (size_t c = 0; c < header.size(); ++c) {
+    std::fprintf(f, "%s%s", header[c].c_str(), c + 1 == header.size() ? "\n" : ",");
+  }
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(f, "%.9g%s", row[c], c + 1 == row.size() ? "\n" : ",");
+    }
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,45 @@
+// ASCII table printer used by the benchmark harnesses to reproduce the
+// rows/series of the paper's tables and figures, plus a CSV writer for
+// figure data that is naturally plotted (t-SNE embeddings, search curves).
+#ifndef SRC_SUPPORT_TABLE_H_
+#define SRC_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cdmpp {
+
+// Accumulates rows of string cells and renders them with aligned columns.
+//
+//   TablePrinter t({"device", "MAPE"});
+//   t.AddRow({"T4", "15.2%"});
+//   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders the table. Columns are padded to the widest cell.
+  void Print(std::FILE* out) const;
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+// Formats a fraction (0.1403) as a percentage string ("14.03%").
+std::string FormatPercent(double fraction, int digits);
+
+// Writes rows of doubles as CSV with the given header line.
+// Returns false if the file could not be opened.
+bool WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<double>>& rows);
+
+}  // namespace cdmpp
+
+#endif  // SRC_SUPPORT_TABLE_H_

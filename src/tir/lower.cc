@@ -1,0 +1,280 @@
+#include "src/tir/lower.h"
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+constexpr double kElemBytes = 4.0;  // fp32
+
+Loop Spatial(const char* var, int64_t extent) {
+  Loop l;
+  l.var = var;
+  l.extent = extent;
+  l.kind = LoopKind::kSpatial;
+  return l;
+}
+
+Loop Reduction(const char* var, int64_t extent) {
+  Loop l;
+  l.var = var;
+  l.extent = extent;
+  l.kind = LoopKind::kReduction;
+  return l;
+}
+
+BufferAccess Access(double footprint_elems, int stride_class, bool is_write) {
+  BufferAccess a;
+  a.footprint_bytes = footprint_elems * kElemBytes;
+  a.stride_class = stride_class;
+  a.is_write = is_write;
+  return a;
+}
+
+ComputeStmt InitStmt(double out_elems) {
+  ComputeStmt s;
+  s.kind = ComputeKind::kInit;
+  s.stores_per_iter = 1.0;
+  s.accesses = {Access(out_elems, /*stride_class=*/0, /*is_write=*/true)};
+  return s;
+}
+
+}  // namespace
+
+ComputeStmt MakeReluEpilogue(double out_elems) {
+  ComputeStmt s;
+  s.kind = ComputeKind::kElementwise;
+  s.ops.cmps = 1.0;
+  s.ops.adds = 1.0;  // bias add fused with the activation
+  s.loads_per_iter = 1.0;
+  s.stores_per_iter = 1.0;
+  s.accesses = {Access(out_elems, 0, false), Access(out_elems, 0, true)};
+  return s;
+}
+
+std::vector<CanonicalNest> LowerTask(const Task& task) {
+  ValidateTask(task);
+  const auto& d = task.dims;
+  std::vector<CanonicalNest> nests;
+
+  switch (task.kind) {
+    case OpKind::kConv2d: {
+      // dims: {N, CI, H, W, CO, KH, KW}
+      CanonicalNest nest;
+      nest.spatial = {Spatial("n", d[0]), Spatial("co", d[4]), Spatial("h", d[2]),
+                      Spatial("w", d[3])};
+      nest.reduction = {Reduction("ci", d[1]), Reduction("kh", d[5]), Reduction("kw", d[6])};
+      double out = static_cast<double>(task.OutputElems());
+      nest.init = InitStmt(out);
+      nest.main.kind = ComputeKind::kFma;
+      nest.main.ops.fmas = 1.0;
+      nest.main.loads_per_iter = 2.0;  // input element + weight element
+      nest.main.accesses = {
+          Access(static_cast<double>(d[0] * d[1] * d[2] * d[3]), 1, false),   // input
+          Access(static_cast<double>(d[4] * d[1] * d[5] * d[6]), 0, false),   // weight
+          Access(out, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+    case OpKind::kDepthwiseConv2d: {
+      // dims: {N, C, H, W, KH, KW}
+      CanonicalNest nest;
+      nest.spatial = {Spatial("n", d[0]), Spatial("c", d[1]), Spatial("h", d[2]),
+                      Spatial("w", d[3])};
+      nest.reduction = {Reduction("kh", d[4]), Reduction("kw", d[5])};
+      double out = static_cast<double>(task.OutputElems());
+      nest.init = InitStmt(out);
+      nest.main.kind = ComputeKind::kFma;
+      nest.main.ops.fmas = 1.0;
+      nest.main.loads_per_iter = 2.0;
+      nest.main.accesses = {Access(static_cast<double>(d[0] * d[1] * d[2] * d[3]), 1, false),
+                            Access(static_cast<double>(d[1] * d[4] * d[5]), 0, false),
+                            Access(out, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+    case OpKind::kDense: {
+      // dims: {M, N, K}
+      CanonicalNest nest;
+      nest.spatial = {Spatial("i", d[0]), Spatial("j", d[1])};
+      nest.reduction = {Reduction("k", d[2])};
+      double out = static_cast<double>(d[0] * d[1]);
+      nest.init = InitStmt(out);
+      nest.main.kind = ComputeKind::kFma;
+      nest.main.ops.fmas = 1.0;
+      nest.main.loads_per_iter = 2.0;
+      nest.main.accesses = {Access(static_cast<double>(d[0] * d[2]), 0, false),
+                            Access(static_cast<double>(d[2] * d[1]), 1, false),
+                            Access(out, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+    case OpKind::kBatchMatmul: {
+      // dims: {B, M, N, K}
+      CanonicalNest nest;
+      nest.spatial = {Spatial("b", d[0]), Spatial("i", d[1]), Spatial("j", d[2])};
+      nest.reduction = {Reduction("k", d[3])};
+      double out = static_cast<double>(d[0] * d[1] * d[2]);
+      nest.init = InitStmt(out);
+      nest.main.kind = ComputeKind::kFma;
+      nest.main.ops.fmas = 1.0;
+      nest.main.loads_per_iter = 2.0;
+      nest.main.accesses = {Access(static_cast<double>(d[0] * d[1] * d[3]), 0, false),
+                            Access(static_cast<double>(d[0] * d[3] * d[2]), 1, false),
+                            Access(out, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+    case OpKind::kPool: {
+      // dims: {N, C, H, W, KH, KW} — max pooling.
+      CanonicalNest nest;
+      nest.spatial = {Spatial("n", d[0]), Spatial("c", d[1]), Spatial("h", d[2]),
+                      Spatial("w", d[3])};
+      nest.reduction = {Reduction("kh", d[4]), Reduction("kw", d[5])};
+      double out = static_cast<double>(task.OutputElems());
+      nest.init = InitStmt(out);
+      nest.main.kind = ComputeKind::kReduceUpdate;
+      nest.main.ops.cmps = 1.0;
+      nest.main.loads_per_iter = 1.0;
+      nest.main.accesses = {Access(static_cast<double>(d[0] * d[1] * d[2] * d[3]), 1, false),
+                            Access(out, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+    case OpKind::kSoftmax: {
+      // dims: {M, N}; three passes: row-max, exp+row-sum, divide.
+      double rows = static_cast<double>(d[0]);
+      double elems = static_cast<double>(d[0] * d[1]);
+      {
+        CanonicalNest nest;
+        nest.spatial = {Spatial("i", d[0])};
+        nest.reduction = {Reduction("j", d[1])};
+        nest.init = InitStmt(rows);
+        nest.main.kind = ComputeKind::kReduceUpdate;
+        nest.main.ops.cmps = 1.0;
+        nest.main.loads_per_iter = 1.0;
+        nest.main.accesses = {Access(elems, 0, false), Access(rows, 0, true)};
+        nests.push_back(std::move(nest));
+      }
+      {
+        CanonicalNest nest;
+        nest.spatial = {Spatial("i", d[0])};
+        nest.reduction = {Reduction("j", d[1])};
+        nest.init = InitStmt(rows);
+        nest.main.kind = ComputeKind::kSpecial;
+        nest.main.ops.specials = 1.0;  // exp
+        nest.main.ops.adds = 2.0;      // subtract max, accumulate sum
+        nest.main.loads_per_iter = 2.0;
+        nest.main.stores_per_iter = 1.0;
+        nest.main.accesses = {Access(elems, 0, false), Access(elems, 0, true),
+                              Access(rows, 0, true)};
+        nests.push_back(std::move(nest));
+      }
+      {
+        CanonicalNest nest;
+        nest.spatial = {Spatial("i", d[0]), Spatial("j", d[1])};
+        nest.main.kind = ComputeKind::kElementwise;
+        nest.main.ops.divs = 1.0;
+        nest.main.loads_per_iter = 2.0;
+        nest.main.stores_per_iter = 1.0;
+        nest.main.accesses = {Access(elems, 0, false), Access(elems, 0, true)};
+        nests.push_back(std::move(nest));
+      }
+      break;
+    }
+    case OpKind::kLayerNorm: {
+      // dims: {M, N}; passes: mean, variance, normalize.
+      double rows = static_cast<double>(d[0]);
+      double elems = static_cast<double>(d[0] * d[1]);
+      {
+        CanonicalNest nest;
+        nest.spatial = {Spatial("i", d[0])};
+        nest.reduction = {Reduction("j", d[1])};
+        nest.init = InitStmt(rows);
+        nest.main.kind = ComputeKind::kReduceUpdate;
+        nest.main.ops.adds = 1.0;
+        nest.main.loads_per_iter = 1.0;
+        nest.main.accesses = {Access(elems, 0, false), Access(rows, 0, true)};
+        nests.push_back(std::move(nest));
+      }
+      {
+        CanonicalNest nest;
+        nest.spatial = {Spatial("i", d[0])};
+        nest.reduction = {Reduction("j", d[1])};
+        nest.init = InitStmt(rows);
+        nest.main.kind = ComputeKind::kFma;
+        nest.main.ops.fmas = 1.0;  // (x - mu)^2 accumulation
+        nest.main.ops.adds = 1.0;
+        nest.main.loads_per_iter = 1.0;
+        nest.main.accesses = {Access(elems, 0, false), Access(rows, 0, true)};
+        nests.push_back(std::move(nest));
+      }
+      {
+        CanonicalNest nest;
+        nest.spatial = {Spatial("i", d[0]), Spatial("j", d[1])};
+        nest.main.kind = ComputeKind::kSpecial;
+        nest.main.ops.specials = 1.0;  // rsqrt
+        nest.main.ops.muls = 2.0;      // scale * gamma
+        nest.main.ops.adds = 2.0;      // shift + beta
+        nest.main.loads_per_iter = 2.0;
+        nest.main.stores_per_iter = 1.0;
+        nest.main.accesses = {Access(elems, 0, false), Access(elems, 0, true)};
+        nests.push_back(std::move(nest));
+      }
+      break;
+    }
+    case OpKind::kElementwise: {
+      // dims: {LEN} — binary pointwise op (add/mul) with optional activation.
+      CanonicalNest nest;
+      nest.spatial = {Spatial("i", d[0])};
+      double elems = static_cast<double>(d[0]);
+      nest.main.kind = ComputeKind::kElementwise;
+      nest.main.ops.adds = 1.0;
+      nest.main.ops.muls = 1.0;
+      nest.main.loads_per_iter = 2.0;
+      nest.main.stores_per_iter = 1.0;
+      nest.main.accesses = {Access(elems, 0, false), Access(elems, 0, false),
+                            Access(elems, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+    case OpKind::kReduce: {
+      // dims: {M, N} — sum along N.
+      CanonicalNest nest;
+      nest.spatial = {Spatial("i", d[0])};
+      nest.reduction = {Reduction("j", d[1])};
+      double rows = static_cast<double>(d[0]);
+      nest.init = InitStmt(rows);
+      nest.main.kind = ComputeKind::kReduceUpdate;
+      nest.main.ops.adds = 1.0;
+      nest.main.loads_per_iter = 1.0;
+      nest.main.accesses = {Access(static_cast<double>(d[0] * d[1]), 0, false),
+                            Access(rows, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+    case OpKind::kTranspose: {
+      // dims: {M, N}.
+      CanonicalNest nest;
+      nest.spatial = {Spatial("i", d[0]), Spatial("j", d[1])};
+      double elems = static_cast<double>(d[0] * d[1]);
+      nest.main.kind = ComputeKind::kCopy;
+      nest.main.loads_per_iter = 1.0;
+      nest.main.stores_per_iter = 1.0;
+      nest.main.accesses = {Access(elems, 2, false), Access(elems, 0, true)};
+      nests.push_back(std::move(nest));
+      break;
+    }
+  }
+
+  if (task.fused_relu) {
+    // The epilogue attaches to the last nest by default; the schedule decides
+    // whether it stays fused or becomes its own nest (kFuseEpilogue).
+    CDMPP_CHECK(!nests.empty());
+    nests.back().epilogues.push_back(MakeReluEpilogue(static_cast<double>(task.OutputElems())));
+  }
+  return nests;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,40 @@
+// Lowering rules: Task -> canonical (unscheduled) loop nests.
+//
+// A task lowers to one or more CanonicalNest structures. Multi-pass operators
+// (softmax, layernorm) produce several nests that execute in sequence; this is
+// what gives their ASTs multiple top-level subtrees, as in Tiramisu's AST
+// format (paper Fig. 1(c)).
+#ifndef SRC_TIR_LOWER_H_
+#define SRC_TIR_LOWER_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/tir/program.h"
+
+namespace cdmpp {
+
+// One canonical perfect loop nest with optional init / epilogue statements.
+// The scheduled tree for a nest has shape
+//
+//   spatial loops (possibly tiled into levels)
+//     [init leaf]                      (if `init`)
+//     reduction loops -> main leaf     (or just the main leaf)
+//     [epilogue leaves]                (fused epilogues, cache-write copies)
+struct CanonicalNest {
+  std::vector<Loop> spatial;
+  std::vector<Loop> reduction;
+  ComputeStmt main;
+  std::optional<ComputeStmt> init;
+  std::vector<ComputeStmt> epilogues;
+};
+
+// Lowers a task to its canonical nests. Aborts on malformed tasks.
+std::vector<CanonicalNest> LowerTask(const Task& task);
+
+// Builds the epilogue statement for a fused ReLU over `out_elems` outputs.
+ComputeStmt MakeReluEpilogue(double out_elems);
+
+}  // namespace cdmpp
+
+#endif  // SRC_TIR_LOWER_H_

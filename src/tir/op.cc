@@ -1,0 +1,161 @@
+#include "src/tir/op.h"
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2d:
+      return "conv2d";
+    case OpKind::kDepthwiseConv2d:
+      return "depthwise_conv2d";
+    case OpKind::kDense:
+      return "dense";
+    case OpKind::kBatchMatmul:
+      return "batch_matmul";
+    case OpKind::kPool:
+      return "pool";
+    case OpKind::kSoftmax:
+      return "softmax";
+    case OpKind::kLayerNorm:
+      return "layer_norm";
+    case OpKind::kElementwise:
+      return "elementwise";
+    case OpKind::kReduce:
+      return "reduce";
+    case OpKind::kTranspose:
+      return "transpose";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t ExpectedDims(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2d:
+      return 7;
+    case OpKind::kDepthwiseConv2d:
+      return 6;
+    case OpKind::kDense:
+      return 3;
+    case OpKind::kBatchMatmul:
+      return 4;
+    case OpKind::kPool:
+      return 6;
+    case OpKind::kSoftmax:
+    case OpKind::kLayerNorm:
+    case OpKind::kReduce:
+    case OpKind::kTranspose:
+      return 2;
+    case OpKind::kElementwise:
+      return 1;
+  }
+  return 0;
+}
+
+double Product(const std::vector<int64_t>& dims, size_t lo, size_t hi) {
+  double p = 1.0;
+  for (size_t i = lo; i < hi; ++i) {
+    p *= static_cast<double>(dims[i]);
+  }
+  return p;
+}
+
+}  // namespace
+
+void ValidateTask(const Task& task) {
+  CDMPP_CHECK_MSG(task.dims.size() == ExpectedDims(task.kind), task.name.c_str());
+  for (int64_t d : task.dims) {
+    CDMPP_CHECK(d > 0);
+  }
+}
+
+double Task::Flops() const {
+  const auto& d = dims;
+  switch (kind) {
+    case OpKind::kConv2d:
+      // 2 flops (mul+add) per MAC: N*CO*H*W * CI*KH*KW.
+      return 2.0 * Product(d, 0, 7);
+    case OpKind::kDepthwiseConv2d:
+      return 2.0 * Product(d, 0, 6);
+    case OpKind::kDense:
+      return 2.0 * Product(d, 0, 3);
+    case OpKind::kBatchMatmul:
+      return 2.0 * Product(d, 0, 4);
+    case OpKind::kPool:
+      return Product(d, 0, 6);  // one compare per window element
+    case OpKind::kSoftmax:
+      return 5.0 * Product(d, 0, 2);  // max, sub, exp, sum, div passes
+    case OpKind::kLayerNorm:
+      return 6.0 * Product(d, 0, 2);
+    case OpKind::kElementwise:
+      return 2.0 * Product(d, 0, 1);
+    case OpKind::kReduce:
+      return Product(d, 0, 2);
+    case OpKind::kTranspose:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+int64_t Task::OutputElems() const {
+  const auto& d = dims;
+  switch (kind) {
+    case OpKind::kConv2d:
+      return d[0] * d[4] * d[2] * d[3];
+    case OpKind::kDepthwiseConv2d:
+    case OpKind::kPool:
+      return d[0] * d[1] * d[2] * d[3];
+    case OpKind::kDense:
+      return d[0] * d[1];
+    case OpKind::kBatchMatmul:
+      return d[0] * d[1] * d[2];
+    case OpKind::kSoftmax:
+    case OpKind::kLayerNorm:
+    case OpKind::kTranspose:
+      return d[0] * d[1];
+    case OpKind::kReduce:
+      return d[0];
+    case OpKind::kElementwise:
+      return d[0];
+  }
+  return 0;
+}
+
+double Task::MemoryBytes() const {
+  const auto& d = dims;
+  constexpr double kElem = 4.0;  // fp32
+  double in_elems = 0.0;
+  switch (kind) {
+    case OpKind::kConv2d:
+      in_elems = static_cast<double>(d[0] * d[1] * d[2] * d[3]) +  // input
+                 static_cast<double>(d[4] * d[1] * d[5] * d[6]);   // weight
+      break;
+    case OpKind::kDepthwiseConv2d:
+      in_elems = static_cast<double>(d[0] * d[1] * d[2] * d[3]) +
+                 static_cast<double>(d[1] * d[4] * d[5]);
+      break;
+    case OpKind::kDense:
+      in_elems = static_cast<double>(d[0] * d[2]) + static_cast<double>(d[2] * d[1]);
+      break;
+    case OpKind::kBatchMatmul:
+      in_elems = static_cast<double>(d[0]) * (static_cast<double>(d[1] * d[3]) +
+                                              static_cast<double>(d[3] * d[2]));
+      break;
+    case OpKind::kPool:
+    case OpKind::kSoftmax:
+    case OpKind::kLayerNorm:
+    case OpKind::kReduce:
+    case OpKind::kTranspose:
+    case OpKind::kElementwise:
+      in_elems = kind == OpKind::kPool
+                     ? static_cast<double>(d[0] * d[1] * d[2] * d[3])
+                     : Product(d, 0, d.size());
+      break;
+  }
+  return kElem * (in_elems + static_cast<double>(OutputElems()));
+}
+
+}  // namespace cdmpp

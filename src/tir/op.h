@@ -1,0 +1,69 @@
+// Operator-level task definitions.
+//
+// A Task mirrors a TVM/Ansor "tuning task": one computational subgraph (a
+// fused operator) with concrete shapes. A task can be lowered to many
+// different tensor programs by applying different schedules (src/tir/schedule.h).
+#ifndef SRC_TIR_OP_H_
+#define SRC_TIR_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdmpp {
+
+// The operator families the mini-IR supports. These cover the op mix of the
+// model zoo (CNNs, transformers, MLPs): convolutions, GEMMs, reductions,
+// normalizations and pointwise ops.
+enum class OpKind {
+  kConv2d,
+  kDepthwiseConv2d,
+  kDense,
+  kBatchMatmul,
+  kPool,
+  kSoftmax,
+  kLayerNorm,
+  kElementwise,
+  kReduce,
+  kTranspose,
+};
+
+// Human-readable name, e.g. "conv2d".
+const char* OpKindName(OpKind kind);
+// Number of distinct OpKind values (for iteration / one-hot features).
+constexpr int kNumOpKinds = 10;
+
+// Shape-dimension layout per kind (all dims positive):
+//   kConv2d:          {N, CI, H, W, CO, KH, KW}   stride assumed 1, SAME padding
+//   kDepthwiseConv2d: {N, C, H, W, KH, KW}
+//   kDense:           {M, N, K}                    out[M,N] = in[M,K] x w[K,N]
+//   kBatchMatmul:     {B, M, N, K}
+//   kPool:            {N, C, H, W, KH, KW}
+//   kSoftmax:         {M, N}                       softmax along N
+//   kLayerNorm:       {M, N}                       normalize along N
+//   kElementwise:     {LEN}                        unary/binary pointwise
+//   kReduce:          {M, N}                       sum along N
+//   kTranspose:       {M, N}
+struct Task {
+  int id = -1;
+  OpKind kind = OpKind::kElementwise;
+  std::vector<int64_t> dims;
+  // Whether a ReLU (or GELU-like) epilogue is fused into the program.
+  bool fused_relu = false;
+  std::string name;
+
+  // Total floating point operations of one execution of the task.
+  double Flops() const;
+  // Minimum bytes moved to/from memory assuming perfect reuse (compulsory
+  // traffic): inputs read once + outputs written once, fp32.
+  double MemoryBytes() const;
+  // Output element count (used by the replayer and epilogue sizing).
+  int64_t OutputElems() const;
+};
+
+// Validates the dims vector length for the kind; aborts on mismatch.
+void ValidateTask(const Task& task);
+
+}  // namespace cdmpp
+
+#endif  // SRC_TIR_OP_H_

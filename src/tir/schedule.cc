@@ -1,0 +1,362 @@
+#include "src/tir/schedule.h"
+
+#include <algorithm>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+std::vector<int> FeasibleSplitFactors(int64_t extent, int max_factor) {
+  std::vector<int> out;
+  for (int f = 2; f <= max_factor && f < extent; ++f) {
+    if (extent % f == 0) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Working state while applying a schedule: each canonical loop of nest 0
+// becomes a chain of tile loops (outer-to-inner).
+struct LoopChain {
+  std::vector<Loop> pieces;  // pieces[0] is the outermost tile
+};
+
+ComputeStmt MakeCacheWriteCopy(double out_elems) {
+  ComputeStmt s;
+  s.kind = ComputeKind::kCopy;
+  s.loads_per_iter = 1.0;
+  s.stores_per_iter = 1.0;
+  BufferAccess rd;
+  rd.footprint_bytes = out_elems * 4.0;
+  rd.stride_class = 0;
+  rd.is_write = false;
+  BufferAccess wr = rd;
+  wr.is_write = true;
+  s.accesses = {rd, wr};
+  return s;
+}
+
+// Splits the innermost piece of the chain by `factor`. Returns false if the
+// factor does not divide the current innermost extent.
+bool SplitChain(LoopChain* chain, int factor) {
+  if (factor < 2) {
+    return false;
+  }
+  Loop& inner = chain->pieces.back();
+  if (inner.extent % factor != 0 || inner.extent / factor < 1) {
+    return false;
+  }
+  Loop new_inner = inner;
+  new_inner.var = inner.var + "i";
+  new_inner.extent = factor;
+  inner.extent /= factor;
+  inner.var += "o";
+  chain->pieces.push_back(std::move(new_inner));
+  return true;
+}
+
+// Emits the chains level-major (all level-0 pieces, then level-1, ...) as a
+// nested loop chain. Returns {outermost, innermost} nodes; both null when the
+// chain set is empty.
+struct ChainEmit {
+  StmtNode* outer = nullptr;
+  StmtNode* inner = nullptr;
+  std::unique_ptr<StmtNode> head;
+};
+
+ChainEmit EmitChains(const std::vector<LoopChain>& chains) {
+  ChainEmit result;
+  size_t max_level = 0;
+  for (const LoopChain& c : chains) {
+    max_level = std::max(max_level, c.pieces.size());
+  }
+  for (size_t level = 0; level < max_level; ++level) {
+    for (const LoopChain& c : chains) {
+      if (level >= c.pieces.size()) {
+        continue;
+      }
+      auto node = StmtNode::MakeLoop(c.pieces[level]);
+      StmtNode* raw = node.get();
+      if (result.head == nullptr) {
+        result.head = std::move(node);
+        result.outer = raw;
+      } else {
+        result.inner->children.push_back(std::move(node));
+      }
+      result.inner = raw;
+    }
+  }
+  return result;
+}
+
+struct NestState {
+  std::vector<LoopChain> spatial;
+  std::vector<LoopChain> reduction;
+  ComputeStmt main;
+  std::optional<ComputeStmt> init;
+  std::vector<ComputeStmt> epilogues;
+};
+
+NestState ToState(const CanonicalNest& nest) {
+  NestState st;
+  for (const Loop& l : nest.spatial) {
+    st.spatial.push_back(LoopChain{{l}});
+  }
+  for (const Loop& l : nest.reduction) {
+    st.reduction.push_back(LoopChain{{l}});
+  }
+  st.main = nest.main;
+  st.init = nest.init;
+  st.epilogues = nest.epilogues;
+  return st;
+}
+
+// Builds the tree for one nest and appends it to `root`.
+void EmitNest(const NestState& st, bool vectorize, bool parallel, int unroll_factor,
+              StmtNode* root) {
+  ChainEmit spatial = EmitChains(st.spatial);
+  CDMPP_CHECK(spatial.head != nullptr);
+
+  // Reduction chain (if any) carrying the main leaf.
+  std::unique_ptr<StmtNode> body_main;
+  StmtNode* innermost_red = nullptr;
+  if (!st.reduction.empty()) {
+    ChainEmit red = EmitChains(st.reduction);
+    innermost_red = red.inner;
+    red.inner->children.push_back(StmtNode::MakeLeaf(st.main));
+    body_main = std::move(red.head);
+  } else {
+    body_main = StmtNode::MakeLeaf(st.main);
+  }
+
+  StmtNode* innermost_spatial = spatial.inner;
+  if (st.init.has_value()) {
+    innermost_spatial->children.push_back(StmtNode::MakeLeaf(*st.init));
+  }
+  innermost_spatial->children.push_back(std::move(body_main));
+  for (const ComputeStmt& e : st.epilogues) {
+    innermost_spatial->children.push_back(StmtNode::MakeLeaf(e));
+  }
+
+  if (vectorize) {
+    innermost_spatial->loop.annotation = LoopAnnotation::kVectorize;
+  }
+  if (unroll_factor > 0) {
+    StmtNode* target = innermost_red != nullptr ? innermost_red : innermost_spatial;
+    if (target->loop.annotation == LoopAnnotation::kNone) {
+      target->loop.annotation = LoopAnnotation::kUnroll;
+    }
+  }
+  if (parallel && spatial.outer->loop.annotation == LoopAnnotation::kNone) {
+    spatial.outer->loop.annotation = LoopAnnotation::kParallel;
+  }
+  root->children.push_back(std::move(spatial.head));
+}
+
+}  // namespace
+
+TensorProgram GenerateProgram(const Task& task, const ScheduleDesc& sched) {
+  std::vector<CanonicalNest> nests = LowerTask(task);
+  CDMPP_CHECK(!nests.empty());
+
+  std::vector<NestState> states;
+  states.reserve(nests.size());
+  for (const CanonicalNest& n : nests) {
+    states.push_back(ToState(n));
+  }
+  NestState& first = states.front();
+  const size_t num_spatial = first.spatial.size();
+
+  bool vectorize = false;
+  bool parallel = false;
+  int unroll_factor = 0;
+  bool hoist_epilogue = false;
+
+  for (const SchedulePrimitive& p : sched.primitives) {
+    switch (p.kind) {
+      case PrimitiveKind::kSplit: {
+        size_t idx = static_cast<size_t>(p.loop_index);
+        LoopChain* chain = nullptr;
+        if (idx < num_spatial) {
+          chain = &first.spatial[idx];
+        } else if (idx - num_spatial < first.reduction.size()) {
+          chain = &first.reduction[idx - num_spatial];
+        }
+        CDMPP_CHECK_MSG(chain != nullptr, "split loop_index out of range");
+        CDMPP_CHECK_MSG(SplitChain(chain, p.factor), "invalid split factor");
+        break;
+      }
+      case PrimitiveKind::kVectorize:
+        vectorize = true;
+        break;
+      case PrimitiveKind::kUnroll:
+        unroll_factor = p.factor;
+        break;
+      case PrimitiveKind::kParallel:
+        parallel = true;
+        break;
+      case PrimitiveKind::kCacheWrite:
+        first.epilogues.push_back(MakeCacheWriteCopy(static_cast<double>(task.OutputElems())));
+        break;
+      case PrimitiveKind::kFuseEpilogue:
+        hoist_epilogue = p.factor == 0;
+        break;
+    }
+  }
+
+  if (hoist_epilogue) {
+    // Move the ReLU epilogue of the last nest into its own top-level nest.
+    NestState& last = states.back();
+    auto it = std::find_if(last.epilogues.begin(), last.epilogues.end(),
+                           [](const ComputeStmt& s) { return s.kind == ComputeKind::kElementwise; });
+    if (it != last.epilogues.end()) {
+      NestState hoisted;
+      hoisted.spatial.push_back(
+          LoopChain{{Loop{"e", task.OutputElems(), LoopKind::kSpatial, LoopAnnotation::kNone}}});
+      hoisted.main = *it;
+      last.epilogues.erase(it);
+      states.push_back(std::move(hoisted));
+    }
+  }
+
+  TensorProgram prog;
+  prog.task = task;
+  prog.schedule = sched;
+  Loop root_loop;
+  root_loop.var = "root";
+  root_loop.extent = 1;
+  prog.root = StmtNode::MakeLoop(root_loop);
+  for (const NestState& st : states) {
+    EmitNest(st, vectorize, parallel, unroll_factor, prog.root.get());
+  }
+  return prog;
+}
+
+namespace {
+
+// Tracks innermost piece extents per chain so sampled splits are guaranteed
+// valid when GenerateProgram replays them.
+struct ExtentTracker {
+  std::vector<int64_t> inner_extent;
+
+  explicit ExtentTracker(const CanonicalNest& nest) {
+    for (const Loop& l : nest.spatial) {
+      inner_extent.push_back(l.extent);
+    }
+    for (const Loop& l : nest.reduction) {
+      inner_extent.push_back(l.extent);
+    }
+  }
+
+  // Tries to add a split on loop `i`; returns the chosen factor or 0.
+  int TrySplit(size_t i, Rng* rng, int max_factor) {
+    std::vector<int> factors = FeasibleSplitFactors(inner_extent[i], max_factor);
+    if (factors.empty()) {
+      return 0;
+    }
+    int f = rng->Choice(factors);
+    inner_extent[i] = f;  // further splits apply to the new inner piece
+    return f;
+  }
+};
+
+}  // namespace
+
+ScheduleDesc SampleSchedule(const Task& task, Rng* rng) {
+  std::vector<CanonicalNest> nests = LowerTask(task);
+  const CanonicalNest& nest = nests.front();
+  const size_t num_spatial = nest.spatial.size();
+  const size_t num_loops = num_spatial + nest.reduction.size();
+
+  ScheduleDesc sched;
+  ExtentTracker tracker(nest);
+
+  for (size_t i = 0; i < num_loops; ++i) {
+    bool is_spatial = i < num_spatial;
+    double split_prob = is_spatial ? 0.6 : 0.35;
+    if (tracker.inner_extent[i] >= 4 && rng->Bernoulli(split_prob)) {
+      int f = tracker.TrySplit(i, rng, 16);
+      if (f > 0) {
+        sched.primitives.push_back({PrimitiveKind::kSplit, static_cast<int>(i), f});
+        // Occasionally tile one more level.
+        if (is_spatial && tracker.inner_extent[i] >= 4 && rng->Bernoulli(0.3)) {
+          int f2 = tracker.TrySplit(i, rng, 8);
+          if (f2 > 0) {
+            sched.primitives.push_back({PrimitiveKind::kSplit, static_cast<int>(i), f2});
+          }
+        }
+      }
+    }
+  }
+
+  int64_t innermost_spatial_extent = tracker.inner_extent[num_spatial - 1];
+  if (innermost_spatial_extent >= 2 && innermost_spatial_extent <= 64 && rng->Bernoulli(0.5)) {
+    sched.primitives.push_back({PrimitiveKind::kVectorize, -1, 0});
+  }
+  if (rng->Bernoulli(0.4)) {
+    const std::vector<int> unroll_factors = {2, 4, 8};
+    sched.primitives.push_back({PrimitiveKind::kUnroll, -1, rng->Choice(unroll_factors)});
+  }
+  if (rng->Bernoulli(0.7)) {
+    sched.primitives.push_back({PrimitiveKind::kParallel, -1, 0});
+  }
+  if (rng->Bernoulli(0.3)) {
+    sched.primitives.push_back({PrimitiveKind::kCacheWrite, -1, 0});
+  }
+  if (task.fused_relu) {
+    sched.primitives.push_back({PrimitiveKind::kFuseEpilogue, -1, rng->Bernoulli(0.6) ? 1 : 0});
+  }
+  return sched;
+}
+
+ScheduleDesc MutateSchedule(const Task& task, const ScheduleDesc& sched, Rng* rng) {
+  // Mutation strategy: drop one random primitive, then with high probability
+  // resample fresh annotations. Splits are interdependent (later factors must
+  // divide the piece left by earlier ones), so when a split is dropped we keep
+  // only the split prefix that remains valid.
+  if (sched.primitives.empty() || rng->Bernoulli(0.25)) {
+    return SampleSchedule(task, rng);
+  }
+  ScheduleDesc out = sched;
+  size_t victim = static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(out.primitives.size()) - 1));
+  out.primitives.erase(out.primitives.begin() + static_cast<long>(victim));
+
+  // Re-validate splits: replay them against the canonical extents and drop any
+  // that no longer divide evenly.
+  std::vector<CanonicalNest> nests = LowerTask(task);
+  ExtentTracker tracker(nests.front());
+  ScheduleDesc valid;
+  for (const SchedulePrimitive& p : out.primitives) {
+    if (p.kind != PrimitiveKind::kSplit) {
+      valid.primitives.push_back(p);
+      continue;
+    }
+    size_t i = static_cast<size_t>(p.loop_index);
+    if (i < tracker.inner_extent.size() && tracker.inner_extent[i] % p.factor == 0 &&
+        tracker.inner_extent[i] > p.factor) {
+      tracker.inner_extent[i] = p.factor;
+      valid.primitives.push_back(p);
+    }
+  }
+  // Occasionally add a fresh annotation toggle.
+  if (rng->Bernoulli(0.5)) {
+    switch (rng->UniformInt(0, 2)) {
+      case 0:
+        valid.primitives.push_back({PrimitiveKind::kVectorize, -1, 0});
+        break;
+      case 1:
+        valid.primitives.push_back({PrimitiveKind::kParallel, -1, 0});
+        break;
+      default:
+        valid.primitives.push_back({PrimitiveKind::kCacheWrite, -1, 0});
+        break;
+    }
+  }
+  return valid;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,43 @@
+// Schedule application and random schedule sampling (the Ansor-style search
+// space). GenerateProgram is a pure function of (task, schedule), so a
+// recorded ScheduleDesc fully reproduces a tensor program.
+#ifndef SRC_TIR_SCHEDULE_H_
+#define SRC_TIR_SCHEDULE_H_
+
+#include "src/support/rng.h"
+#include "src/tir/lower.h"
+#include "src/tir/program.h"
+
+namespace cdmpp {
+
+// Builds the scheduled tensor program for `task` under `sched`.
+//
+// Primitive semantics (loop_index refers to the canonical loop list of the
+// first nest: spatial loops first, then reduction loops):
+//   kSplit(i, f)      tile loop i by factor f (f must divide the current
+//                     innermost piece of that loop); repeated splits tile
+//                     further. Tiles are emitted level-major, i.e. all level-0
+//                     loops, then all level-1 loops, etc.
+//   kVectorize(_, _)  annotate the innermost spatial loop of every nest
+//   kUnroll(_, f)     annotate the innermost reduction loop (or the innermost
+//                     spatial loop if the nest has no reduction)
+//   kParallel(_, _)   annotate the outermost loop of every nest
+//   kCacheWrite       append a cache-write copy leaf to the first nest
+//   kFuseEpilogue(_, f) f == 1 keeps the ReLU epilogue fused into its nest;
+//                     f == 0 hoists it into a separate top-level nest
+TensorProgram GenerateProgram(const Task& task, const ScheduleDesc& sched);
+
+// Samples a random valid schedule for the task from the Ansor-like space
+// (multi-level tiling + annotations + cache write).
+ScheduleDesc SampleSchedule(const Task& task, Rng* rng);
+
+// Mutates one primitive of the schedule (for evolutionary search); always
+// returns a schedule that is valid for the task.
+ScheduleDesc MutateSchedule(const Task& task, const ScheduleDesc& sched, Rng* rng);
+
+// Divisors of `extent` in [2, max_factor]; used by split sampling.
+std::vector<int> FeasibleSplitFactors(int64_t extent, int max_factor);
+
+}  // namespace cdmpp
+
+#endif  // SRC_TIR_SCHEDULE_H_

@@ -1,0 +1,209 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/dataset/batching.h"
+#include "src/dataset/dataset.h"
+#include "src/dataset/model_zoo.h"
+
+namespace cdmpp {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions opts;
+  opts.device_ids = {0, 3};  // T4, V100
+  opts.schedules_per_task = 3;
+  opts.max_networks = 12;
+  opts.seed = 101;
+  return opts;
+}
+
+TEST(ModelZooTest, Has120Networks) {
+  auto zoo = BuildModelZoo();
+  EXPECT_EQ(zoo.size(), 120u);
+  std::set<std::string> names;
+  for (const NetworkDef& net : zoo) {
+    EXPECT_FALSE(net.ops.empty()) << net.name;
+    names.insert(net.name);
+  }
+  EXPECT_EQ(names.size(), zoo.size()) << "duplicate network names";
+}
+
+TEST(ModelZooTest, AllTasksValidAndDepsAcyclicByConstruction) {
+  for (const NetworkDef& net : BuildModelZoo()) {
+    for (size_t i = 0; i < net.ops.size(); ++i) {
+      ValidateTask(net.ops[i].task);
+      for (int d : net.ops[i].deps) {
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, static_cast<int>(i)) << net.name;  // deps precede the op
+      }
+    }
+  }
+}
+
+TEST(ModelZooTest, HoldoutNetworksExist) {
+  auto zoo = BuildModelZoo();
+  for (const std::string& name : HoldoutNetworkNames()) {
+    bool found = false;
+    for (const NetworkDef& net : zoo) {
+      found |= net.name == name;
+    }
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(ModelZooTest, FamiliesHaveDistinctOpMixes) {
+  // Cross-model distribution shift: conv fraction differs strongly between a
+  // CNN and a transformer.
+  NetworkDef resnet = BuildNetworkByName("resnet50_bs1_r224");
+  NetworkDef bert = BuildNetworkByName("bert_base_bs1_s128");
+  auto conv_fraction = [](const NetworkDef& net) {
+    int convs = 0;
+    for (const NetworkOp& op : net.ops) {
+      convs += op.task.kind == OpKind::kConv2d ? 1 : 0;
+    }
+    return static_cast<double>(convs) / static_cast<double>(net.ops.size());
+  };
+  EXPECT_GT(conv_fraction(resnet), 0.4);
+  EXPECT_LT(conv_fraction(bert), 0.05);
+}
+
+TEST(DatasetTest, BuildProducesConsistentCounts) {
+  Dataset ds = BuildDataset(SmallOptions());
+  EXPECT_FALSE(ds.tasks.empty());
+  EXPECT_EQ(ds.programs.size(), ds.tasks.size() * 3);
+  EXPECT_EQ(ds.samples.size(), ds.programs.size() * 2);  // two devices
+  for (const Sample& s : ds.samples) {
+    EXPECT_GT(s.latency_seconds, 0.0);
+    EXPECT_TRUE(s.device_id == 0 || s.device_id == 3);
+  }
+}
+
+TEST(DatasetTest, TasksAreDeduplicatedAcrossNetworks) {
+  Dataset ds = BuildDataset(SmallOptions());
+  size_t total_ops = 0;
+  for (const NetworkDef& net : ds.networks) {
+    total_ops += net.ops.size();
+  }
+  EXPECT_LT(ds.tasks.size(), total_ops);  // sharing must occur
+  // Each op's task id resolves into the task table.
+  for (const NetworkDef& net : ds.networks) {
+    for (const NetworkOp& op : net.ops) {
+      ASSERT_GE(op.task.id, 0);
+      ASSERT_LT(op.task.id, static_cast<int>(ds.tasks.size()));
+      EXPECT_EQ(ds.tasks[static_cast<size_t>(op.task.id)].task.kind, op.task.kind);
+    }
+  }
+}
+
+TEST(DatasetTest, DeterministicAcrossBuilds) {
+  Dataset a = BuildDataset(SmallOptions());
+  Dataset b = BuildDataset(SmallOptions());
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (size_t i = 0; i < a.samples.size(); i += 17) {
+    EXPECT_DOUBLE_EQ(a.samples[i].latency_seconds, b.samples[i].latency_seconds);
+  }
+}
+
+TEST(DatasetTest, SplitRespectsRatiosAndHoldout) {
+  Dataset ds = BuildDataset(SmallOptions());
+  int holdout_model = ds.ModelIdByName("resnet50_bs1_r224");
+  ASSERT_GE(holdout_model, 0);
+  Rng rng(5);
+  SplitIndices split = SplitDataset(ds, {0}, {holdout_model}, &rng);
+  size_t total = split.train.size() + split.valid.size() + split.test.size();
+  EXPECT_GT(split.holdout.size(), 0u);
+
+  // Ratios approximately 8:1:1.
+  EXPECT_NEAR(static_cast<double>(split.train.size()) / total, 0.8, 0.02);
+
+  // No overlap between sets.
+  std::set<int> seen;
+  for (const auto* part : {&split.train, &split.valid, &split.test, &split.holdout}) {
+    for (int idx : *part) {
+      EXPECT_TRUE(seen.insert(idx).second);
+      EXPECT_EQ(ds.samples[static_cast<size_t>(idx)].device_id, 0);
+    }
+  }
+  // Nothing in train/valid/test touches a holdout-model task.
+  for (const auto* part : {&split.train, &split.valid, &split.test}) {
+    for (int idx : *part) {
+      EXPECT_FALSE(
+          ds.ProgramInModels(ds.samples[static_cast<size_t>(idx)].program_index,
+                             {holdout_model}));
+    }
+  }
+}
+
+TEST(DatasetTest, SamplesOfModelOnDevice) {
+  Dataset ds = BuildDataset(SmallOptions());
+  int model = ds.networks.front().id;
+  std::vector<int> idxs = SamplesOfModelOnDevice(ds, model, 3);
+  EXPECT_FALSE(idxs.empty());
+  for (int idx : idxs) {
+    EXPECT_EQ(ds.samples[static_cast<size_t>(idx)].device_id, 3);
+    EXPECT_TRUE(ds.ProgramInModels(ds.samples[static_cast<size_t>(idx)].program_index, {model}));
+  }
+}
+
+TEST(BatchingTest, BucketsPartitionSamples) {
+  Dataset ds = BuildDataset(SmallOptions());
+  std::vector<int> all = SamplesOnDevice(ds, 0);
+  auto buckets = GroupByLeafCount(ds, all);
+  size_t total = 0;
+  for (const auto& [leaves, idxs] : buckets) {
+    EXPECT_GT(leaves, 0);
+    total += idxs.size();
+    for (int idx : idxs) {
+      const Sample& s = ds.samples[static_cast<size_t>(idx)];
+      EXPECT_EQ(ds.programs[static_cast<size_t>(s.program_index)].ast.num_leaves, leaves);
+    }
+  }
+  EXPECT_EQ(total, all.size());
+}
+
+TEST(BatchingTest, BatchesCoverEveryIndexOnce) {
+  Dataset ds = BuildDataset(SmallOptions());
+  std::vector<int> all = SamplesOnDevice(ds, 0);
+  Rng rng(6);
+  auto batches = MakeBatches(GroupByLeafCount(ds, all), 32, &rng);
+  std::set<int> seen;
+  for (const Batch& b : batches) {
+    EXPECT_LE(b.sample_indices.size(), 32u);
+    for (int idx : b.sample_indices) {
+      EXPECT_TRUE(seen.insert(idx).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), all.size());
+}
+
+TEST(BatchingTest, FeatureMatrixShapes) {
+  Dataset ds = BuildDataset(SmallOptions());
+  std::vector<int> all = SamplesOnDevice(ds, 0);
+  Rng rng(7);
+  auto batches = MakeBatches(GroupByLeafCount(ds, all), 16, &rng);
+  ASSERT_FALSE(batches.empty());
+  const Batch& b = batches.front();
+  Matrix x = BuildFeatureMatrix(ds, b, nullptr, true);
+  EXPECT_EQ(x.rows(), static_cast<int>(b.sample_indices.size()) * b.seq_len);
+  EXPECT_EQ(x.cols(), kFeatDim);
+  Matrix dev = BuildDeviceFeatureMatrix(ds, b);
+  EXPECT_EQ(dev.rows(), static_cast<int>(b.sample_indices.size()));
+  EXPECT_EQ(dev.cols(), kDeviceFeatDim);
+}
+
+TEST(BatchingTest, StackLeafRowsMatchesTotalLeaves) {
+  Dataset ds = BuildDataset(SmallOptions());
+  std::vector<int> some = {0, 1, 2, 3, 4};
+  Matrix rows = StackLeafRows(ds, some);
+  int expected = 0;
+  for (int idx : some) {
+    expected +=
+        ds.programs[static_cast<size_t>(ds.samples[static_cast<size_t>(idx)].program_index)]
+            .ast.num_leaves;
+  }
+  EXPECT_EQ(rows.rows(), expected);
+}
+
+}  // namespace
+}  // namespace cdmpp

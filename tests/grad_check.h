@@ -1,0 +1,41 @@
+// Shared numerical-gradient checking utilities for the NN test suite.
+#ifndef TESTS_GRAD_CHECK_H_
+#define TESTS_GRAD_CHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/layers.h"
+
+namespace cdmpp {
+
+// Compares the analytic gradients stored in `params` against central finite
+// differences of `loss_fn` (which must re-run the forward pass and return the
+// scalar loss). `loss_fn` must not perturb state other than via the params.
+inline void CheckParamGradients(std::vector<Param*> params,
+                                const std::function<double()>& loss_fn, double eps = 1e-3,
+                                double tol = 2e-2, int max_entries_per_param = 12) {
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Param* p = params[pi];
+    size_t stride = std::max<size_t>(1, p->value.size() / static_cast<size_t>(max_entries_per_param));
+    for (size_t j = 0; j < p->value.size(); j += stride) {
+      float orig = p->value.data()[j];
+      p->value.data()[j] = orig + static_cast<float>(eps);
+      double up = loss_fn();
+      p->value.data()[j] = orig - static_cast<float>(eps);
+      double down = loss_fn();
+      p->value.data()[j] = orig;
+      double numeric = (up - down) / (2.0 * eps);
+      double analytic = p->grad.data()[j];
+      double scale = std::max({1.0, std::abs(numeric), std::abs(analytic)});
+      EXPECT_NEAR(analytic, numeric, tol * scale)
+          << "param " << pi << " entry " << j;
+    }
+  }
+}
+
+}  // namespace cdmpp
+
+#endif  // TESTS_GRAD_CHECK_H_

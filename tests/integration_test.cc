@@ -1,0 +1,103 @@
+// Cross-module integration tests: the full CDMPP pipeline end to end at
+// miniature scale — dataset build -> pre-train -> cross-device sample +
+// fine-tune -> end-to-end replay prediction.
+#include <gtest/gtest.h>
+
+#include "src/core/predictor.h"
+#include "src/core/sampler.h"
+#include "src/replay/e2e.h"
+#include "src/support/stats.h"
+
+namespace cdmpp {
+namespace {
+
+const Dataset& PipelineDataset() {
+  static const Dataset* ds = [] {
+    DatasetOptions opts;
+    opts.device_ids = {0, 2, 3};  // T4, P100, V100
+    opts.schedules_per_task = 3;
+    opts.max_networks = 10;
+    opts.seed = 404;
+    return new Dataset(BuildDataset(opts));
+  }();
+  return *ds;
+}
+
+PredictorConfig FastConfig() {
+  PredictorConfig cfg;
+  cfg.d_model = 32;
+  cfg.num_heads = 2;
+  cfg.d_ff = 64;
+  cfg.num_layers = 1;
+  cfg.z_dim = 32;
+  cfg.epochs = 8;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(IntegrationTest, CrossDevicePipelineImprovesWithFinetune) {
+  const Dataset& ds = PipelineDataset();
+  Rng rng(71);
+  // Sources: T4 + P100. Target: V100.
+  SplitIndices src = SplitDataset(ds, {0, 2}, {}, &rng);
+  SplitIndices tgt = SplitDataset(ds, {3}, {}, &rng);
+
+  CdmppPredictor predictor(FastConfig());
+  predictor.Pretrain(ds, src.train, src.valid);
+  double before = predictor.Evaluate(ds, tgt.test).mape;
+
+  // KMeans-sampled tasks profiled on the target device.
+  std::vector<int> tasks = SelectTasksKMeans(ds, 10, &rng);
+  std::vector<int> target_labeled = SamplesForTasksOnDevice(ds, tasks, 3);
+  // Fine-tune: prediction loss on source + target-labeled; CMD source/target.
+  std::vector<int> labeled = src.train;
+  labeled.insert(labeled.end(), target_labeled.begin(), target_labeled.end());
+  std::vector<int> src_domain(src.train.begin(),
+                              src.train.begin() + std::min<size_t>(400, src.train.size()));
+  std::vector<int> tgt_domain = SamplesOnDevice(ds, 3);
+  tgt_domain.resize(std::min<size_t>(tgt_domain.size(), 400));
+  predictor.Finetune(ds, labeled, src_domain, tgt_domain, 4);
+  double after = predictor.Evaluate(ds, tgt.test).mape;
+  EXPECT_LT(after, before);
+}
+
+TEST(IntegrationTest, E2ePredictionWithinFactorOfTruth) {
+  const Dataset& ds = PipelineDataset();
+  Rng rng(72);
+  SplitIndices split = SplitDataset(ds, {0, 2, 3}, {}, &rng);
+  CdmppPredictor predictor(FastConfig());
+  predictor.Pretrain(ds, split.train, {});
+
+  NetworkDef net = BuildNetworkByName("resnet18_bs1_r224");
+  NetworkSchedules scheds = ChooseSchedules(net, 9);
+  const DeviceSpec& dev = DeviceByName("T4");
+  double truth = E2eGroundTruth(net, dev, scheds);
+  double pred = E2ePredicted(net, dev, scheds, [&](const CompactAst& ast, int device_id) {
+    return predictor.PredictAst(ast, device_id);
+  });
+  EXPECT_GT(pred, 0.0);
+  // A miniature model trained on 3 schedules/task: demand factor-of-3 only.
+  EXPECT_LT(std::abs(pred - truth) / truth, 3.0);
+}
+
+TEST(IntegrationTest, HoldoutModelsNeverLeakIntoTraining) {
+  const Dataset& ds = PipelineDataset();
+  std::vector<int> holdout_ids;
+  for (const std::string& name : HoldoutNetworkNames()) {
+    int id = ds.ModelIdByName(name);
+    if (id >= 0) {
+      holdout_ids.push_back(id);
+    }
+  }
+  ASSERT_FALSE(holdout_ids.empty());
+  Rng rng(73);
+  SplitIndices split = SplitDataset(ds, {}, holdout_ids, &rng);
+  for (int idx : split.train) {
+    EXPECT_FALSE(
+        ds.ProgramInModels(ds.samples[static_cast<size_t>(idx)].program_index, holdout_ids));
+  }
+  EXPECT_FALSE(split.holdout.empty());
+}
+
+}  // namespace
+}  // namespace cdmpp

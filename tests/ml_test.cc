@@ -1,0 +1,279 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/ml/cmd.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/scaler.h"
+#include "src/ml/transforms.h"
+#include "src/ml/tsne.h"
+#include "src/support/stats.h"
+
+namespace cdmpp {
+namespace {
+
+Matrix GaussianBlob(int n, int dim, double cx, double stddev, Rng* rng) {
+  Matrix m(n, dim);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dim; ++j) {
+      m.At(i, j) = static_cast<float>(rng->Normal(cx, stddev));
+    }
+  }
+  return m;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(61);
+  Matrix points(60, 2);
+  for (int i = 0; i < 30; ++i) {
+    points.At(i, 0) = static_cast<float>(rng.Normal(0.0, 0.2));
+    points.At(i, 1) = static_cast<float>(rng.Normal(0.0, 0.2));
+    points.At(30 + i, 0) = static_cast<float>(rng.Normal(10.0, 0.2));
+    points.At(30 + i, 1) = static_cast<float>(rng.Normal(10.0, 0.2));
+  }
+  KMeansResult res = KMeans(points, 2, &rng);
+  // All points in the same blob share an assignment.
+  for (int i = 1; i < 30; ++i) {
+    EXPECT_EQ(res.assignment[static_cast<size_t>(i)], res.assignment[0]);
+    EXPECT_EQ(res.assignment[static_cast<size_t>(30 + i)], res.assignment[30]);
+  }
+  EXPECT_NE(res.assignment[0], res.assignment[30]);
+}
+
+TEST(KMeansTest, AssignmentIsNearestCentroid) {
+  Rng rng(62);
+  Matrix points = GaussianBlob(80, 4, 0.0, 2.0, &rng);
+  int k = 5;
+  KMeansResult res = KMeans(points, k, &rng);
+  for (int i = 0; i < points.rows(); ++i) {
+    double own = SquaredDistance(points.Row(i),
+                                 res.centroids.Row(res.assignment[static_cast<size_t>(i)]), 4);
+    for (int c = 0; c < k; ++c) {
+      EXPECT_LE(own, SquaredDistance(points.Row(i), res.centroids.Row(c), 4) + 1e-6);
+    }
+  }
+}
+
+TEST(KMeansTest, ClusterSizesSumToN) {
+  Rng rng(63);
+  Matrix points = GaussianBlob(50, 3, 1.0, 1.0, &rng);
+  KMeansResult res = KMeans(points, 7, &rng);
+  int total = 0;
+  for (int c : res.cluster_sizes) {
+    total += c;
+  }
+  EXPECT_EQ(total, 50);
+}
+
+TEST(KMeansTest, MoreClustersLowerInertia) {
+  Rng rng(64);
+  Matrix points = GaussianBlob(100, 3, 0.0, 3.0, &rng);
+  Rng r1(1);
+  Rng r2(1);
+  double inertia2 = KMeans(points, 2, &r1).inertia;
+  double inertia10 = KMeans(points, 10, &r2).inertia;
+  EXPECT_LT(inertia10, inertia2);
+}
+
+TEST(CmdTest, IdenticalDistributionsNearZero) {
+  Rng rng(65);
+  Matrix z = GaussianBlob(400, 4, 0.0, 1.0, &rng);
+  // Two halves of the same distribution.
+  Matrix z1(200, 4);
+  Matrix z2(200, 4);
+  for (int i = 0; i < 200; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      z1.At(i, j) = z.At(i, j);
+      z2.At(i, j) = z.At(200 + i, j);
+    }
+  }
+  double same = CmdDistance(z1, z2);
+  Matrix far = GaussianBlob(200, 4, 3.0, 1.0, &rng);
+  double diff = CmdDistance(z1, far);
+  EXPECT_LT(same, diff * 0.5);
+  EXPECT_GE(same, 0.0);
+}
+
+TEST(CmdTest, SymmetricAndShiftSensitive) {
+  Rng rng(66);
+  Matrix a = GaussianBlob(100, 3, 0.0, 1.0, &rng);
+  Matrix b = GaussianBlob(100, 3, 2.0, 1.0, &rng);
+  EXPECT_NEAR(CmdDistance(a, b, 5, 10.0), CmdDistance(b, a, 5, 10.0), 1e-9);
+  EXPECT_GT(CmdDistance(a, b, 5, 10.0), 0.01);
+}
+
+TEST(CmdTest, GradientMatchesFiniteDifference) {
+  Rng rng(67);
+  Matrix z1 = GaussianBlob(8, 3, 0.0, 1.0, &rng);
+  Matrix z2 = GaussianBlob(6, 3, 1.0, 1.0, &rng);
+  const double span = 8.0;  // fixed so the value is differentiable
+  Matrix dz1(8, 3);
+  Matrix dz2(6, 3);
+  CmdDistanceWithGrad(z1, z2, 5, span, 1.0, &dz1, &dz2);
+
+  const double eps = 1e-3;
+  for (int i = 0; i < z1.rows(); ++i) {
+    for (int j = 0; j < z1.cols(); ++j) {
+      float orig = z1.At(i, j);
+      z1.At(i, j) = orig + static_cast<float>(eps);
+      double up = CmdDistance(z1, z2, 5, span);
+      z1.At(i, j) = orig - static_cast<float>(eps);
+      double down = CmdDistance(z1, z2, 5, span);
+      z1.At(i, j) = orig;
+      EXPECT_NEAR(dz1.At(i, j), (up - down) / (2 * eps), 5e-3);
+    }
+  }
+  for (int i = 0; i < z2.rows(); ++i) {
+    for (int j = 0; j < z2.cols(); ++j) {
+      float orig = z2.At(i, j);
+      z2.At(i, j) = orig + static_cast<float>(eps);
+      double up = CmdDistance(z1, z2, 5, span);
+      z2.At(i, j) = orig - static_cast<float>(eps);
+      double down = CmdDistance(z1, z2, 5, span);
+      z2.At(i, j) = orig;
+      EXPECT_NEAR(dz2.At(i, j), (up - down) / (2 * eps), 5e-3);
+    }
+  }
+}
+
+TEST(CmdTest, ValueAgreesWithAndWithoutGrad) {
+  Rng rng(68);
+  Matrix a = GaussianBlob(50, 4, 0.0, 1.0, &rng);
+  Matrix b = GaussianBlob(50, 4, 0.5, 1.5, &rng);
+  Matrix da(50, 4);
+  Matrix db(50, 4);
+  EXPECT_NEAR(CmdDistance(a, b, 5, 12.0), CmdDistanceWithGrad(a, b, 5, 12.0, 1.0, &da, &db),
+              1e-9);
+}
+
+class TransformRoundTripTest : public ::testing::TestWithParam<NormKind> {};
+
+TEST_P(TransformRoundTripTest, InverseUndoesTransform) {
+  Rng rng(69);
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    y.push_back(std::exp(rng.Normal(0.0, 1.5)));  // log-normal, all positive
+  }
+  auto tf = MakeLabelTransform(GetParam());
+  tf->Fit(y);
+  for (size_t i = 0; i < y.size(); i += 7) {
+    double t = tf->Transform(y[i]);
+    EXPECT_TRUE(std::isfinite(t));
+    EXPECT_NEAR(tf->Inverse(t), y[i], std::max(1e-5, 0.02 * y[i])) << NormKindName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNorms, TransformRoundTripTest,
+                         ::testing::Values(NormKind::kNone, NormKind::kBoxCox,
+                                           NormKind::kYeoJohnson, NormKind::kQuantile));
+
+TEST(BoxCoxTest, ReducesSkewOfLogNormalData) {
+  Rng rng(70);
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    y.push_back(std::exp(rng.Normal(0.0, 1.0)));
+  }
+  BoxCoxTransform bc;
+  bc.Fit(y);
+  std::vector<double> t = bc.TransformAll(y);
+  EXPECT_LT(std::abs(Skewness(t)), std::abs(Skewness(y)) * 0.3);
+  // For log-normal data the MLE lambda should be close to 0 (log transform).
+  EXPECT_NEAR(bc.lambda(), 0.0, 0.15);
+}
+
+TEST(BoxCoxTest, LambdaOneForAlreadyNormalData) {
+  Rng rng(71);
+  std::vector<double> y;
+  for (int i = 0; i < 2000; ++i) {
+    y.push_back(rng.Normal(100.0, 5.0));
+  }
+  BoxCoxTransform bc;
+  bc.Fit(y);
+  // Normal data needs no power correction; lambda stays near 1 (identity-ish).
+  EXPECT_GT(bc.lambda(), 0.4);
+}
+
+TEST(QuantileTest, MapsToApproxStandardNormal) {
+  Rng rng(72);
+  std::vector<double> y;
+  for (int i = 0; i < 3000; ++i) {
+    y.push_back(std::exp(rng.Normal(0.0, 2.0)));
+  }
+  QuantileTransform qt;
+  qt.Fit(y);
+  std::vector<double> t = qt.TransformAll(y);
+  EXPECT_NEAR(Mean(t), kLabelShift, 0.05);
+  EXPECT_NEAR(Stddev(t), 1.0, 0.1);
+}
+
+TEST(InverseNormalCdfTest, RoundTripsWithCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(InverseNormalCdf(p)), p, 1e-6);
+  }
+}
+
+TEST(ScalerTest, StandardizesColumns) {
+  Rng rng(73);
+  Matrix x(200, 3);
+  for (int i = 0; i < 200; ++i) {
+    x.At(i, 0) = static_cast<float>(rng.Normal(5.0, 2.0));
+    x.At(i, 1) = static_cast<float>(rng.Normal(-3.0, 0.5));
+    x.At(i, 2) = 7.0f;  // constant column
+  }
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Matrix y = x;
+  scaler.Apply(&y);
+  for (int j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (int i = 0; i < 200; ++i) {
+      mean += y.At(i, j);
+    }
+    mean /= 200.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+  }
+  // Constant column is centered, not blown up.
+  EXPECT_NEAR(y.At(0, 2), 0.0, 1e-4);
+}
+
+TEST(TsneTest, ProducesFiniteSeparatedEmbedding) {
+  Rng rng(74);
+  Matrix hi(60, 8);
+  for (int i = 0; i < 30; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      hi.At(i, j) = static_cast<float>(rng.Normal(0.0, 0.3));
+      hi.At(30 + i, j) = static_cast<float>(rng.Normal(6.0, 0.3));
+    }
+  }
+  TsneOptions opts;
+  opts.iterations = 150;
+  Matrix emb = TsneEmbed(hi, opts, &rng);
+  ASSERT_EQ(emb.rows(), 60);
+  ASSERT_EQ(emb.cols(), 2);
+  for (size_t i = 0; i < emb.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(emb.data()[i]));
+  }
+  // Cluster centroids in 2-D should be farther apart than the average
+  // within-cluster spread.
+  double cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;
+  for (int i = 0; i < 30; ++i) {
+    cx0 += emb.At(i, 0);
+    cy0 += emb.At(i, 1);
+    cx1 += emb.At(30 + i, 0);
+    cy1 += emb.At(30 + i, 1);
+  }
+  cx0 /= 30;
+  cy0 /= 30;
+  cx1 /= 30;
+  cy1 /= 30;
+  double centroid_dist = std::hypot(cx0 - cx1, cy0 - cy1);
+  double spread = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    spread += std::hypot(emb.At(i, 0) - cx0, emb.At(i, 1) - cy0);
+  }
+  spread /= 30;
+  EXPECT_GT(centroid_dist, spread);
+}
+
+}  // namespace
+}  // namespace cdmpp

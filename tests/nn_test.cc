@@ -1,0 +1,423 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/attention.h"
+#include "src/nn/loss.h"
+#include "src/nn/matrix.h"
+#include "src/nn/optimizer.h"
+#include "src/nn/transformer.h"
+#include "tests/grad_check.h"
+
+namespace cdmpp {
+namespace {
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Normal(0.0, scale));
+  }
+  return m;
+}
+
+// Scalar loss = sum(output * weights) for gradient checking: d(loss)/d(out)
+// is just the weight matrix.
+double WeightedSum(const Matrix& out, const Matrix& weights) {
+  double s = 0.0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    s += static_cast<double>(out.data()[i]) * weights.data()[i];
+  }
+  return s;
+}
+
+TEST(MatrixTest, MatMulMatchesManual) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154);
+}
+
+TEST(MatrixTest, TransposedVariantsAgree) {
+  Rng rng(41);
+  Matrix a = RandomMatrix(4, 5, &rng);
+  Matrix b = RandomMatrix(5, 3, &rng);
+  Matrix ref = MatMul(a, b);
+
+  // a^T stored transposed: at [5,4]; MatMulTransA(at, b) == a x b.
+  Matrix at(5, 4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      at.At(j, i) = a.At(i, j);
+    }
+  }
+  Matrix r1 = MatMulTransA(at, b);
+  // b^T stored transposed: bt [3,5]; MatMulTransB(a, bt) == a x b.
+  Matrix bt(3, 5);
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      bt.At(j, i) = b.At(i, j);
+    }
+  }
+  Matrix r2 = MatMulTransB(a, bt);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(r1.data()[i], ref.data()[i], 1e-5);
+    EXPECT_NEAR(r2.data()[i], ref.data()[i], 1e-5);
+  }
+}
+
+TEST(MatrixTest, SoftmaxRowsSumToOne) {
+  Rng rng(42);
+  Matrix m = RandomMatrix(6, 9, &rng, 3.0);
+  SoftmaxRows(&m);
+  for (int i = 0; i < m.rows(); ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < m.cols(); ++j) {
+      EXPECT_GE(m.At(i, j), 0.0f);
+      sum += m.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(LinearTest, GradientCheck) {
+  Rng rng(43);
+  Linear layer(5, 4, &rng);
+  Matrix x = RandomMatrix(3, 5, &rng);
+  Matrix w = RandomMatrix(3, 4, &rng);
+
+  auto loss = [&]() { return WeightedSum(layer.Forward(x), w); };
+  layer.ZeroGrad();
+  loss();
+  layer.Backward(w);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  CheckParamGradients(params, loss);
+}
+
+TEST(LinearTest, InputGradientCheck) {
+  Rng rng(44);
+  Linear layer(4, 3, &rng);
+  Matrix x = RandomMatrix(2, 4, &rng);
+  Matrix w = RandomMatrix(2, 3, &rng);
+  layer.ZeroGrad();
+  layer.Forward(x);
+  Matrix dx = layer.Backward(w);
+  const double eps = 1e-3;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      float orig = x.At(i, j);
+      x.At(i, j) = orig + static_cast<float>(eps);
+      double up = WeightedSum(layer.Forward(x), w);
+      x.At(i, j) = orig - static_cast<float>(eps);
+      double down = WeightedSum(layer.Forward(x), w);
+      x.At(i, j) = orig;
+      EXPECT_NEAR(dx.At(i, j), (up - down) / (2 * eps), 1e-2);
+    }
+  }
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(45);
+  LayerNorm ln(8);
+  Matrix x = RandomMatrix(4, 8, &rng, 5.0);
+  Matrix y = ln.Forward(x);
+  for (int i = 0; i < y.rows(); ++i) {
+    double mean = 0.0;
+    for (int j = 0; j < 8; ++j) {
+      mean += y.At(i, j);
+    }
+    mean /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+  }
+}
+
+TEST(LayerNormTest, GradientCheck) {
+  Rng rng(46);
+  LayerNorm ln(6);
+  Matrix x = RandomMatrix(3, 6, &rng);
+  Matrix w = RandomMatrix(3, 6, &rng);
+  auto loss = [&]() { return WeightedSum(ln.Forward(x), w); };
+  ln.ZeroGrad();
+  loss();
+  ln.Backward(w);
+  std::vector<Param*> params;
+  ln.CollectParams(&params);
+  CheckParamGradients(params, loss);
+}
+
+TEST(MlpTest, GradientCheck) {
+  Rng rng(47);
+  Mlp mlp({4, 6, 1}, &rng);
+  Matrix x = RandomMatrix(5, 4, &rng);
+  Matrix w = RandomMatrix(5, 1, &rng);
+  auto loss = [&]() { return WeightedSum(mlp.Forward(x), w); };
+  mlp.ZeroGrad();
+  loss();
+  mlp.Backward(w);
+  std::vector<Param*> params;
+  mlp.CollectParams(&params);
+  CheckParamGradients(params, loss);
+}
+
+TEST(AttentionTest, OutputShapeMatchesInput) {
+  Rng rng(48);
+  MultiHeadSelfAttention attn(8, 2, &rng);
+  Matrix x = RandomMatrix(6, 8, &rng);  // 2 samples x seq_len 3
+  Matrix y = attn.Forward(x, 3);
+  EXPECT_EQ(y.rows(), 6);
+  EXPECT_EQ(y.cols(), 8);
+}
+
+TEST(AttentionTest, SamplesAreIndependent) {
+  // Changing sample 1's input must not change sample 0's output.
+  Rng rng(49);
+  MultiHeadSelfAttention attn(8, 2, &rng);
+  Matrix x = RandomMatrix(6, 8, &rng);
+  Matrix y1 = attn.Forward(x, 3);
+  x.At(4, 2) += 1.0f;  // perturb a row in the second sample
+  Matrix y2 = attn.Forward(x, 3);
+  for (int t = 0; t < 3; ++t) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(y1.At(t, j), y2.At(t, j));
+    }
+  }
+}
+
+TEST(AttentionTest, GradientCheck) {
+  Rng rng(50);
+  MultiHeadSelfAttention attn(4, 2, &rng);
+  Matrix x = RandomMatrix(4, 4, &rng);  // 2 samples x seq_len 2
+  Matrix w = RandomMatrix(4, 4, &rng);
+  auto loss = [&]() { return WeightedSum(attn.Forward(x, 2), w); };
+  attn.ZeroGrad();
+  loss();
+  attn.Backward(w);
+  std::vector<Param*> params;
+  attn.CollectParams(&params);
+  CheckParamGradients(params, loss, 1e-3, 3e-2);
+}
+
+TEST(TransformerTest, GradientCheck) {
+  Rng rng(51);
+  TransformerEncoderLayer layer(4, 2, 8, &rng);
+  Matrix x = RandomMatrix(4, 4, &rng);
+  Matrix w = RandomMatrix(4, 4, &rng);
+  auto loss = [&]() { return WeightedSum(layer.Forward(x, 2), w); };
+  layer.ZeroGrad();
+  loss();
+  layer.Backward(w);
+  std::vector<Param*> params;
+  layer.CollectParams(&params);
+  CheckParamGradients(params, loss, 1e-3, 5e-2, 6);
+}
+
+TEST(TransformerTest, StackedEncoderInputGradient) {
+  Rng rng(52);
+  TransformerEncoder enc(4, 2, 8, 2, &rng);
+  Matrix x = RandomMatrix(4, 4, &rng);
+  Matrix w = RandomMatrix(4, 4, &rng);
+  enc.ZeroGrad();
+  enc.Forward(x, 2);
+  Matrix dx = enc.Backward(w);
+  const double eps = 1e-2;
+  int checked = 0;
+  for (int i = 0; i < x.rows() && checked < 6; ++i) {
+    for (int j = 0; j < x.cols() && checked < 6; ++j, ++checked) {
+      float orig = x.At(i, j);
+      x.At(i, j) = orig + static_cast<float>(eps);
+      double up = WeightedSum(enc.Forward(x, 2), w);
+      x.At(i, j) = orig - static_cast<float>(eps);
+      double down = WeightedSum(enc.Forward(x, 2), w);
+      x.At(i, j) = orig;
+      double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(dx.At(i, j), numeric, 0.05 * std::max(1.0, std::abs(numeric)));
+    }
+  }
+}
+
+TEST(LstmTest, GradientCheck) {
+  Rng rng(53);
+  LstmCell cell(3, 4, &rng);
+  Matrix x = RandomMatrix(2, 3, &rng);
+  LstmCell::State prev = cell.ZeroState(2);
+  prev.h = RandomMatrix(2, 4, &rng, 0.5);
+  prev.c = RandomMatrix(2, 4, &rng, 0.5);
+  Matrix w = RandomMatrix(2, 4, &rng);
+
+  LstmCell::Cache cache;
+  auto loss = [&]() {
+    LstmCell::Cache tmp;
+    return WeightedSum(cell.Forward(x, prev, &tmp).h, w);
+  };
+  cell.ZeroGrad();
+  cell.Forward(x, prev, &cache);
+  cell.Backward(cache, w, Matrix());
+  std::vector<Param*> params;
+  cell.CollectParams(&params);
+  CheckParamGradients(params, loss, 1e-3, 3e-2);
+}
+
+TEST(OptimizerTest, AdamReducesQuadraticLoss) {
+  // Minimize ||w - target||^2 with Adam.
+  Param p;
+  p.InitZero(1, 8);
+  std::vector<float> target = {1, -2, 3, 0.5, -0.25, 2, -1, 0};
+  Adam adam({&p}, 0.05);
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 300; ++step) {
+    double loss = 0.0;
+    for (int j = 0; j < 8; ++j) {
+      float d = p.value.At(0, j) - target[static_cast<size_t>(j)];
+      loss += d * d;
+      p.grad.At(0, j) = 2 * d;
+    }
+    if (step == 0) {
+      first_loss = loss;
+    }
+    last_loss = loss;
+    adam.Step();
+    p.grad.Zero();
+  }
+  EXPECT_LT(last_loss, first_loss * 1e-3);
+}
+
+TEST(OptimizerTest, SgdMomentumConverges) {
+  Param p;
+  p.InitZero(1, 4);
+  Sgd sgd({&p}, 0.02);
+  for (int step = 0; step < 400; ++step) {
+    for (int j = 0; j < 4; ++j) {
+      p.grad.At(0, j) = 2 * (p.value.At(0, j) - 1.0f);
+    }
+    sgd.Step();
+    p.grad.Zero();
+  }
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(p.value.At(0, j), 1.0f, 1e-2);
+  }
+}
+
+TEST(OptimizerTest, CyclicLrIsTriangular) {
+  CyclicLr sched(0.1, 0.5, 10);
+  EXPECT_DOUBLE_EQ(sched.LrAt(0), 0.1);
+  EXPECT_DOUBLE_EQ(sched.LrAt(10), 0.5);
+  EXPECT_DOUBLE_EQ(sched.LrAt(20), 0.1);
+  EXPECT_DOUBLE_EQ(sched.LrAt(5), 0.3);
+  EXPECT_DOUBLE_EQ(sched.LrAt(15), 0.3);
+}
+
+class LossGradTest : public ::testing::TestWithParam<LossKind> {};
+
+TEST_P(LossGradTest, GradientMatchesFiniteDifference) {
+  LossKind kind = GetParam();
+  std::vector<float> pred = {1.2f, 3.4f, 0.8f, 2.0f};
+  std::vector<float> target = {1.0f, 3.0f, 1.0f, 2.5f};
+  LossResult res = ComputeLoss(kind, pred, target, 0.2);
+  const double eps = 1e-4;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    std::vector<float> up = pred;
+    std::vector<float> down = pred;
+    up[i] += static_cast<float>(eps);
+    down[i] -= static_cast<float>(eps);
+    double numeric = (ComputeLoss(kind, up, target, 0.2).value -
+                      ComputeLoss(kind, down, target, 0.2).value) /
+                     (2 * eps);
+    EXPECT_NEAR(res.grad[i], numeric, 1e-3) << LossKindName(kind) << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LossGradTest,
+                         ::testing::Values(LossKind::kMse, LossKind::kMape, LossKind::kMspe,
+                                           LossKind::kHybrid));
+
+TEST(LossTest, HybridIsMsePlusLambdaMape) {
+  std::vector<float> pred = {2.0f, 4.0f};
+  std::vector<float> target = {1.0f, 5.0f};
+  double mse = ComputeLoss(LossKind::kMse, pred, target, 0).value;
+  double mape = ComputeLoss(LossKind::kMape, pred, target, 0).value;
+  double hybrid = ComputeLoss(LossKind::kHybrid, pred, target, 0.3).value;
+  EXPECT_NEAR(hybrid, mse + 0.3 * mape, 1e-9);
+}
+
+TEST(TrainingSmokeTest, TransformerFitsSimpleFunction) {
+  // End-to-end: a tiny transformer + linear head should fit y = mean(x).
+  Rng rng(54);
+  const int seq = 3;
+  const int d = 8;
+  TransformerEncoder enc(d, 2, 16, 1, &rng);
+  Linear head(seq * d, 1, &rng);
+  std::vector<Param*> params;
+  enc.CollectParams(&params);
+  head.CollectParams(&params);
+  Adam adam(params, 3e-3);
+
+  auto make_batch = [&](int n, Matrix* x, std::vector<float>* y) {
+    *x = RandomMatrix(n * seq, d, &rng);
+    y->resize(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      float sum = 0.0f;
+      for (int t = 0; t < seq; ++t) {
+        for (int j = 0; j < d; ++j) {
+          sum += x->At(i * seq + t, j);
+        }
+      }
+      (*y)[static_cast<size_t>(i)] = sum / (seq * d);
+    }
+  };
+
+  double first_loss = -1.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 150; ++step) {
+    Matrix x;
+    std::vector<float> y;
+    make_batch(16, &x, &y);
+    for (Param* p : params) {
+      p->grad.Zero();
+    }
+    Matrix h = enc.Forward(x, seq);
+    // Flatten each sample's rows into one row for the head.
+    Matrix flat(16, seq * d);
+    for (int i = 0; i < 16; ++i) {
+      for (int t = 0; t < seq; ++t) {
+        for (int j = 0; j < d; ++j) {
+          flat.At(i, t * d + j) = h.At(i * seq + t, j);
+        }
+      }
+    }
+    Matrix pred = head.Forward(flat);
+    double loss = 0.0;
+    Matrix dpred(16, 1);
+    for (int i = 0; i < 16; ++i) {
+      float diff = pred.At(i, 0) - y[static_cast<size_t>(i)];
+      loss += diff * diff / 16.0;
+      dpred.At(i, 0) = 2.0f * diff / 16.0f;
+    }
+    if (first_loss < 0) {
+      first_loss = loss;
+    }
+    last_loss = loss;
+    Matrix dflat = head.Backward(dpred);
+    Matrix dh(16 * seq, d);
+    for (int i = 0; i < 16; ++i) {
+      for (int t = 0; t < seq; ++t) {
+        for (int j = 0; j < d; ++j) {
+          dh.At(i * seq + t, j) = dflat.At(i, t * d + j);
+        }
+      }
+    }
+    enc.Backward(dh);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+}  // namespace
+}  // namespace cdmpp

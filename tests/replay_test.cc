@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "src/device/simulator.h"
+#include "src/replay/e2e.h"
+#include "src/replay/replayer.h"
+
+namespace cdmpp {
+namespace {
+
+// Builds a hand-rolled DFG: durations in seconds, edges (from, to).
+Dfg MakeDfg(const std::vector<double>& durations,
+            const std::vector<std::pair<int, int>>& edges, double gap = 0.0) {
+  Dfg dfg;
+  for (size_t i = 0; i < durations.size(); ++i) {
+    DfgNode node;
+    node.op_index = static_cast<int>(i);
+    node.duration_seconds = durations[i];
+    node.gap_seconds = gap;
+    dfg.nodes.push_back(std::move(node));
+  }
+  for (auto [from, to] : edges) {
+    dfg.nodes[static_cast<size_t>(from)].successors.push_back(to);
+    dfg.nodes[static_cast<size_t>(to)].indegree++;
+  }
+  return dfg;
+}
+
+TEST(ReplayTest, SerialChainSumsDurations) {
+  Dfg dfg = MakeDfg({1.0, 2.0, 3.0}, {{0, 1}, {1, 2}});
+  ReplayResult res = Replay(dfg, 1);
+  EXPECT_DOUBLE_EQ(res.iteration_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(res.start_times[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.start_times[1], 1.0);
+  EXPECT_DOUBLE_EQ(res.start_times[2], 3.0);
+}
+
+TEST(ReplayTest, GapAddsPerNode) {
+  Dfg dfg = MakeDfg({1.0, 1.0}, {{0, 1}}, /*gap=*/0.5);
+  EXPECT_DOUBLE_EQ(Replay(dfg, 1).iteration_seconds, 3.0);
+}
+
+TEST(ReplayTest, DiamondRespectsCriticalPath) {
+  //    0 (1s)
+  //   /       \
+  //  1 (5s)    2 (1s)
+  //   \       /
+  //    3 (1s)
+  Dfg dfg = MakeDfg({1.0, 5.0, 1.0, 1.0}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  // One queue: everything serializes = 8s.
+  EXPECT_DOUBLE_EQ(Replay(dfg, 1).iteration_seconds, 8.0);
+}
+
+TEST(ReplayTest, MultiQueueOverlapsIndependentBranches) {
+  Dfg dfg = MakeDfg({1.0, 5.0, 1.0, 1.0}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  // Pin branch nodes to different queues so they overlap.
+  dfg.nodes[1].queue_hint = 0;
+  dfg.nodes[2].queue_hint = 1;
+  dfg.nodes[0].queue_hint = 0;
+  dfg.nodes[3].queue_hint = 0;
+  // Critical path: 0 (1) -> 1 (5) -> 3 (1) = 7s.
+  EXPECT_DOUBLE_EQ(Replay(dfg, 2).iteration_seconds, 7.0);
+}
+
+TEST(ReplayTest, ResultAtLeastCriticalPathAndAtMostSum) {
+  Rng rng(91);
+  // Random DAG property test.
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = static_cast<int>(rng.UniformInt(3, 12));
+    std::vector<double> durations;
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i) {
+      durations.push_back(rng.Uniform(0.1, 2.0));
+      for (int j = 0; j < i; ++j) {
+        if (rng.Bernoulli(0.3)) {
+          edges.emplace_back(j, i);
+        }
+      }
+    }
+    Dfg dfg = MakeDfg(durations, edges);
+    // Longest path via DP.
+    std::vector<double> longest(static_cast<size_t>(n), 0.0);
+    for (int i = 0; i < n; ++i) {
+      longest[static_cast<size_t>(i)] = durations[static_cast<size_t>(i)];
+    }
+    for (int i = 0; i < n; ++i) {
+      for (auto [from, to] : edges) {
+        longest[static_cast<size_t>(to)] =
+            std::max(longest[static_cast<size_t>(to)],
+                     longest[static_cast<size_t>(from)] + durations[static_cast<size_t>(to)]);
+      }
+    }
+    double critical = 0.0;
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      critical = std::max(critical, longest[static_cast<size_t>(i)]);
+      total += durations[static_cast<size_t>(i)];
+    }
+    double t1 = Replay(dfg, 1).iteration_seconds;
+    EXPECT_GE(t1 + 1e-9, critical);
+    EXPECT_LE(t1, total + 1e-9);
+    double t3 = Replay(dfg, 3).iteration_seconds;
+    EXPECT_LE(t3, t1 + 1e-9);  // more queues never hurt
+    EXPECT_GE(t3 + 1e-9, critical);
+  }
+}
+
+TEST(ReplayTest, BuildDfgSplitsGemmOnHl100) {
+  NetworkDef net = BuildNetworkByName("resnet18_bs1_r224");
+  const DeviceSpec& hl = DeviceByName("HL-100");
+  const DeviceSpec& gpu = DeviceByName("V100");
+  auto unit = [](const NetworkOp&) { return 1e-3; };
+  Dfg hl_dfg = BuildDfg(net, hl, unit);
+  Dfg gpu_dfg = BuildDfg(net, gpu, unit);
+  EXPECT_GT(hl_dfg.nodes.size(), gpu_dfg.nodes.size());
+  EXPECT_EQ(gpu_dfg.nodes.size(), net.ops.size());
+  // Sub-nodes carry one third the duration.
+  for (const DfgNode& node : hl_dfg.nodes) {
+    if (node.queue_hint >= 0) {
+      EXPECT_NEAR(node.duration_seconds, 1e-3 / 3, 1e-12);
+    }
+  }
+}
+
+TEST(ReplayTest, Hl100SplittingReducesGemmTime) {
+  NetworkDef net = BuildNetworkByName("resnet18_bs1_r224");
+  const DeviceSpec& hl = DeviceByName("HL-100");
+  auto unit = [](const NetworkOp&) { return 3e-3; };
+  Dfg split_dfg = BuildDfg(net, hl, unit);
+  double split_time = Replay(split_dfg, ReplayQueues(hl)).iteration_seconds;
+  // Same network replayed on one queue without splitting.
+  const DeviceSpec& gpu = DeviceByName("V100");
+  Dfg flat_dfg = BuildDfg(net, gpu, unit);
+  double flat_time = Replay(flat_dfg, 1).iteration_seconds;
+  EXPECT_LT(split_time, flat_time);
+}
+
+TEST(E2eTest, SchedulesDeterministicAndShared) {
+  NetworkDef net = BuildNetworkByName("bert_tiny_bs1_s128");
+  NetworkSchedules s1 = ChooseSchedules(net, 42);
+  NetworkSchedules s2 = ChooseSchedules(net, 42);
+  ASSERT_EQ(s1.by_op.size(), net.ops.size());
+  for (const auto& [op, sched] : s1.by_op) {
+    EXPECT_EQ(sched.primitives.size(), s2.by_op.at(op).primitives.size());
+  }
+}
+
+TEST(E2eTest, GroundTruthPositiveOnAllDevices) {
+  NetworkDef net = BuildNetworkByName("resnet18_bs1_r224");
+  NetworkSchedules scheds = ChooseSchedules(net, 7);
+  for (const DeviceSpec& spec : DeviceRegistry()) {
+    double t = E2eGroundTruth(net, spec, scheds);
+    EXPECT_GT(t, 0.0) << spec.name;
+    EXPECT_TRUE(std::isfinite(t));
+  }
+}
+
+TEST(E2eTest, PerfectCostModelReproducesGroundTruth) {
+  NetworkDef net = BuildNetworkByName("resnet18_bs1_r224");
+  NetworkSchedules scheds = ChooseSchedules(net, 8);
+  const DeviceSpec& dev = DeviceByName("P100");
+  double truth = E2eGroundTruth(net, dev, scheds);
+  // An oracle cost model (simulator itself) must reproduce the replay result.
+  // Note ops sharing a task signature share the same schedule, so the oracle
+  // sees identical programs.
+  double oracle = E2ePredicted(net, dev, scheds, [&](const CompactAst& ast, int device_id) {
+    // Recover latency via the simulator on a program with the same AST: we
+    // cheat by scanning the network for the matching op (test-only).
+    for (size_t i = 0; i < net.ops.size(); ++i) {
+      TensorProgram prog =
+          GenerateProgram(net.ops[i].task, scheds.by_op.at(static_cast<int>(i)));
+      CompactAst candidate = ExtractCompactAst(prog);
+      if (candidate.num_leaves == ast.num_leaves && candidate.ordering == ast.ordering &&
+          candidate.leaves == ast.leaves) {
+        return SimulateLatencyDeterministic(prog, DeviceById(device_id));
+      }
+    }
+    ADD_FAILURE() << "AST not found in network";
+    return 0.0;
+  });
+  EXPECT_NEAR(oracle, truth, 1e-9);
+}
+
+}  // namespace
+}  // namespace cdmpp

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "src/tir/lower.h"
+#include "src/tir/op.h"
+#include "src/tir/program.h"
+#include "src/tir/schedule.h"
+
+namespace cdmpp {
+namespace {
+
+Task MakeConv() {
+  Task t;
+  t.kind = OpKind::kConv2d;
+  t.dims = {1, 64, 56, 56, 128, 3, 3};
+  t.fused_relu = true;
+  t.name = "test_conv";
+  return t;
+}
+
+Task MakeDense() {
+  Task t;
+  t.kind = OpKind::kDense;
+  t.dims = {128, 256, 512};
+  t.name = "test_dense";
+  return t;
+}
+
+TEST(OpTest, ConvFlopsMatchFormula) {
+  Task t = MakeConv();
+  // 2 * N*CI*H*W*CO*KH*KW
+  double expected = 2.0 * 1 * 64 * 56 * 56 * 128 * 3 * 3;
+  EXPECT_DOUBLE_EQ(t.Flops(), expected);
+}
+
+TEST(OpTest, DenseFlopsAndOutput) {
+  Task t = MakeDense();
+  EXPECT_DOUBLE_EQ(t.Flops(), 2.0 * 128 * 256 * 512);
+  EXPECT_EQ(t.OutputElems(), 128 * 256);
+}
+
+TEST(OpTest, MemoryBytesPositiveForAllKinds) {
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    Task t;
+    t.kind = static_cast<OpKind>(k);
+    switch (t.kind) {
+      case OpKind::kConv2d:
+        t.dims = {1, 8, 16, 16, 8, 3, 3};
+        break;
+      case OpKind::kDepthwiseConv2d:
+      case OpKind::kPool:
+        t.dims = {1, 8, 16, 16, 3, 3};
+        break;
+      case OpKind::kDense:
+        t.dims = {8, 8, 8};
+        break;
+      case OpKind::kBatchMatmul:
+        t.dims = {2, 8, 8, 8};
+        break;
+      case OpKind::kElementwise:
+        t.dims = {64};
+        break;
+      default:
+        t.dims = {8, 8};
+        break;
+    }
+    ValidateTask(t);
+    EXPECT_GT(t.MemoryBytes(), 0.0) << OpKindName(t.kind);
+    EXPECT_GT(t.OutputElems(), 0) << OpKindName(t.kind);
+  }
+}
+
+TEST(LowerTest, ConvNestShape) {
+  auto nests = LowerTask(MakeConv());
+  ASSERT_EQ(nests.size(), 1u);
+  EXPECT_EQ(nests[0].spatial.size(), 4u);
+  EXPECT_EQ(nests[0].reduction.size(), 3u);
+  EXPECT_TRUE(nests[0].init.has_value());
+  EXPECT_EQ(nests[0].main.kind, ComputeKind::kFma);
+  ASSERT_EQ(nests[0].epilogues.size(), 1u);  // fused relu
+}
+
+TEST(LowerTest, SoftmaxHasThreePasses) {
+  Task t;
+  t.kind = OpKind::kSoftmax;
+  t.dims = {64, 128};
+  t.name = "sm";
+  auto nests = LowerTask(t);
+  EXPECT_EQ(nests.size(), 3u);
+}
+
+TEST(ProgramTest, EmptyScheduleProducesCanonicalTree) {
+  Task t = MakeDense();
+  TensorProgram prog = GenerateProgram(t, ScheduleDesc{});
+  // i, j spatial + k reduction + init leaf + main leaf = 5 nodes.
+  EXPECT_EQ(CountNodes(*prog.root), 5);
+  EXPECT_EQ(CountLeaves(*prog.root), 2);
+  EXPECT_EQ(MaxDepth(*prog.root), 3);  // main leaf under i -> j -> k
+}
+
+TEST(ProgramTest, FlopsPreservedUnderAnySchedule) {
+  Task t = MakeDense();
+  double canonical_flops = ProgramFlops(GenerateProgram(t, ScheduleDesc{}));
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    ScheduleDesc sched = SampleSchedule(t, &rng);
+    TensorProgram prog = GenerateProgram(t, sched);
+    // Splits and annotations never change the amount of main-statement work;
+    // cache_write/epilogue add work, so compare only >= and main-term parity.
+    EXPECT_GE(ProgramFlops(prog) + 1e-9, canonical_flops);
+  }
+}
+
+TEST(ProgramTest, SplitPreservesIterationDomain) {
+  Task t = MakeDense();
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    ScheduleDesc sched = SampleSchedule(t, &rng);
+    TensorProgram prog = GenerateProgram(t, sched);
+    // The main FMA leaf must execute exactly M*N*K times under any tiling.
+    bool found = false;
+    for (const LeafContext& leaf : CollectLeaves(*prog.root)) {
+      if (leaf.compute->kind == ComputeKind::kFma) {
+        EXPECT_DOUBLE_EQ(leaf.Iterations(), 128.0 * 256.0 * 512.0);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(ProgramTest, PreorderIndicesStrictlyIncrease) {
+  Rng rng(11);
+  Task t = MakeConv();
+  for (int trial = 0; trial < 30; ++trial) {
+    TensorProgram prog = GenerateProgram(t, SampleSchedule(t, &rng));
+    auto leaves = CollectLeaves(*prog.root);
+    for (size_t i = 1; i < leaves.size(); ++i) {
+      EXPECT_GT(leaves[i].preorder_index, leaves[i - 1].preorder_index);
+    }
+    EXPECT_LT(leaves.back().preorder_index, CountNodes(*prog.root));
+  }
+}
+
+TEST(ScheduleTest, FeasibleFactorsDivide) {
+  for (int f : FeasibleSplitFactors(24, 16)) {
+    EXPECT_EQ(24 % f, 0);
+    EXPECT_GE(f, 2);
+    EXPECT_LE(f, 16);
+  }
+  EXPECT_TRUE(FeasibleSplitFactors(7, 16).empty());  // prime < factors
+  EXPECT_TRUE(FeasibleSplitFactors(2, 16).empty());  // factor must be < extent
+}
+
+TEST(ScheduleTest, SampledSchedulesAlwaysValid) {
+  Rng rng(12);
+  std::vector<Task> tasks = {MakeConv(), MakeDense()};
+  Task sm;
+  sm.kind = OpKind::kSoftmax;
+  sm.dims = {32, 64};
+  sm.name = "sm";
+  tasks.push_back(sm);
+  for (const Task& t : tasks) {
+    for (int trial = 0; trial < 200; ++trial) {
+      ScheduleDesc sched = SampleSchedule(t, &rng);
+      TensorProgram prog = GenerateProgram(t, sched);  // would abort if invalid
+      EXPECT_GT(CountLeaves(*prog.root), 0);
+    }
+  }
+}
+
+TEST(ScheduleTest, MutationsAlwaysValid) {
+  Rng rng(13);
+  Task t = MakeConv();
+  ScheduleDesc sched = SampleSchedule(t, &rng);
+  for (int trial = 0; trial < 200; ++trial) {
+    sched = MutateSchedule(t, sched, &rng);
+    TensorProgram prog = GenerateProgram(t, sched);
+    EXPECT_GT(CountNodes(*prog.root), 0);
+  }
+}
+
+TEST(ScheduleTest, CacheWriteAddsCopyLeaf) {
+  Task t = MakeDense();
+  ScheduleDesc plain;
+  ScheduleDesc with_cw;
+  with_cw.primitives.push_back({PrimitiveKind::kCacheWrite, -1, 0});
+  int base = CountLeaves(*GenerateProgram(t, plain).root);
+  int with_copy = CountLeaves(*GenerateProgram(t, with_cw).root);
+  EXPECT_EQ(with_copy, base + 1);
+}
+
+TEST(ScheduleTest, HoistedEpilogueAddsTopLevelNest) {
+  Task t = MakeConv();
+  ScheduleDesc fused;
+  fused.primitives.push_back({PrimitiveKind::kFuseEpilogue, -1, 1});
+  ScheduleDesc hoisted;
+  hoisted.primitives.push_back({PrimitiveKind::kFuseEpilogue, -1, 0});
+  TensorProgram fused_prog = GenerateProgram(t, fused);
+  TensorProgram hoisted_prog = GenerateProgram(t, hoisted);
+  EXPECT_EQ(fused_prog.root->children.size() + 1, hoisted_prog.root->children.size());
+  EXPECT_EQ(CountLeaves(*fused_prog.root), CountLeaves(*hoisted_prog.root));
+}
+
+TEST(ScheduleTest, AnnotationsAppearInTree) {
+  Task t = MakeDense();
+  ScheduleDesc sched;
+  sched.primitives.push_back({PrimitiveKind::kParallel, -1, 0});
+  sched.primitives.push_back({PrimitiveKind::kVectorize, -1, 0});
+  TensorProgram prog = GenerateProgram(t, sched);
+  bool saw_parallel = false;
+  bool saw_vectorize = false;
+  for (const LeafContext& leaf : CollectLeaves(*prog.root)) {
+    for (const Loop* loop : leaf.loops) {
+      saw_parallel |= loop->annotation == LoopAnnotation::kParallel;
+      saw_vectorize |= loop->annotation == LoopAnnotation::kVectorize;
+    }
+  }
+  EXPECT_TRUE(saw_parallel);
+  EXPECT_TRUE(saw_vectorize);
+}
+
+TEST(ProgramTest, ToStringMentionsLoopsAndKind) {
+  Task t = MakeDense();
+  TensorProgram prog = GenerateProgram(t, ScheduleDesc{});
+  std::string s = ProgramToString(prog);
+  EXPECT_NE(s.find("dense"), std::string::npos);
+  EXPECT_NE(s.find("for i"), std::string::npos);
+  EXPECT_NE(s.find("[red]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdmpp
