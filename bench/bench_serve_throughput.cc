@@ -1,0 +1,152 @@
+// Serving load generator: measures the batched inference service under an
+// autotuner-shaped query stream (many small latency queries, heavy schedule
+// re-visiting), sweeping worker count x batch window x batching on/off.
+//
+// Reports QPS, mean batch occupancy, cache hit rate, and p50/p99 request
+// latency per configuration, plus the headline batched-vs-unbatched
+// comparison. Build & run:  ./build/bench/bench_serve_throughput
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "src/serve/prediction_service.h"
+#include "src/support/table.h"
+#include "src/tir/schedule.h"
+
+using namespace cdmpp;
+
+namespace {
+
+struct Workload {
+  // Pointers into `asts`; schedules repeat with autotuner-like locality so a
+  // cache can pay off.
+  std::vector<CompactAst> asts;
+  std::vector<const CompactAst*> requests;
+};
+
+Workload BuildWorkload(const Dataset& ds, int unique_schedules, int total_requests,
+                       uint64_t seed) {
+  Workload w;
+  Rng rng(seed);
+  while (static_cast<int>(w.asts.size()) < unique_schedules) {
+    const TaskInfo& info = rng.Choice(ds.tasks);
+    w.asts.push_back(
+        ExtractCompactAst(GenerateProgram(info.task, SampleSchedule(info.task, &rng))));
+  }
+  w.requests.reserve(static_cast<size_t>(total_requests));
+  for (int i = 0; i < total_requests; ++i) {
+    // Zipf-ish revisiting: half the stream hammers the first few schedules,
+    // the rest scans uniformly — schedule search evaluates neighborhoods.
+    size_t idx = rng.Bernoulli(0.5)
+                     ? static_cast<size_t>(rng.UniformInt(0, 7)) % w.asts.size()
+                     : static_cast<size_t>(
+                           rng.UniformInt(0, static_cast<int64_t>(w.asts.size()) - 1));
+    w.requests.push_back(&w.asts[idx]);
+  }
+  return w;
+}
+
+struct RunResult {
+  double qps = 0.0;
+  ServerStatsSnapshot stats;
+};
+
+RunResult RunLoad(CdmppPredictor* predictor, const Workload& w, const ServeOptions& opts,
+                  int device_id) {
+  PredictionService service(predictor, opts);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<double>> futures;
+  futures.reserve(w.requests.size());
+  for (const CompactAst* ast : w.requests) {
+    futures.push_back(service.Submit(*ast, device_id));
+  }
+  for (auto& f : futures) {
+    f.get();
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  RunResult r;
+  r.qps = static_cast<double>(w.requests.size()) / seconds;
+  r.stats = service.Stats();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  // ---- Model under service: quick pre-train on a T4 slice. ----
+  DatasetOptions dopts;
+  dopts.device_ids = {0};
+  dopts.schedules_per_task = 3;
+  dopts.max_networks = 10;
+  dopts.seed = 21;
+  Dataset ds = BuildDataset(dopts);
+
+  PredictorConfig cfg;
+  cfg.epochs = 6;
+  cfg.seed = 22;
+  CdmppPredictor predictor(cfg);
+  Rng rng(23);
+  SplitIndices split = SplitDataset(ds, {0}, {}, &rng);
+  std::printf("Pre-training the served model (%zu samples, %d epochs)...\n",
+              split.train.size(), cfg.epochs);
+  predictor.Pretrain(ds, split.train, split.valid);
+
+  Workload w = BuildWorkload(ds, /*unique_schedules=*/96, /*total_requests=*/3000, /*seed=*/24);
+  for (const CompactAst& ast : w.asts) {
+    predictor.EnsureHead(ast.num_leaves);
+  }
+  std::printf("Workload: %zu requests over %zu unique schedules on T4.\n\n", w.requests.size(),
+              w.asts.size());
+
+  // ---- Sweep: workers x batch window, cache on. ----
+  TablePrinter sweep({"workers", "window (ms)", "max batch", "QPS", "occupancy", "hit rate",
+                      "p50 (ms)", "p99 (ms)"});
+  for (int workers : {1, 2, 4}) {
+    for (double window_ms : {0.0, 0.2, 1.0}) {
+      ServeOptions opts;
+      opts.num_workers = workers;
+      opts.batch_window_ms = window_ms;
+      opts.max_batch_size = 64;
+      opts.enable_cache = true;
+      RunResult r = RunLoad(&predictor, w, opts, /*device_id=*/0);
+      sweep.AddRow({std::to_string(workers), FormatDouble(window_ms, 1),
+                    std::to_string(opts.max_batch_size), FormatDouble(r.qps, 0),
+                    FormatDouble(r.stats.mean_batch_occupancy, 1),
+                    FormatPercent(r.stats.cache_hit_rate, 1),
+                    FormatDouble(r.stats.p50_latency_ms, 3),
+                    FormatDouble(r.stats.p99_latency_ms, 3)});
+    }
+  }
+  std::printf("Sweep (prediction cache enabled):\n");
+  sweep.Print(stdout);
+
+  // ---- Headline: batching vs batch size 1 on the same workload, no cache. ----
+  ServeOptions batched;
+  batched.num_workers = 2;
+  batched.max_batch_size = 64;
+  batched.batch_window_ms = 1.0;
+  batched.enable_cache = false;
+  ServeOptions single = batched;
+  single.max_batch_size = 1;
+  single.batch_window_ms = 0.0;
+
+  RunResult r_single = RunLoad(&predictor, w, single, 0);
+  RunResult r_batched = RunLoad(&predictor, w, batched, 0);
+
+  std::printf("\nBatching headline (cache disabled, 2 workers):\n");
+  TablePrinter headline({"mode", "QPS", "occupancy", "fwd passes", "p99 (ms)"});
+  headline.AddRow({"batch size 1", FormatDouble(r_single.qps, 0),
+                   FormatDouble(r_single.stats.mean_batch_occupancy, 1),
+                   std::to_string(r_single.stats.forward_passes),
+                   FormatDouble(r_single.stats.p99_latency_ms, 3)});
+  headline.AddRow({"batched (<=64)", FormatDouble(r_batched.qps, 0),
+                   FormatDouble(r_batched.stats.mean_batch_occupancy, 1),
+                   std::to_string(r_batched.stats.forward_passes),
+                   FormatDouble(r_batched.stats.p99_latency_ms, 3)});
+  headline.Print(stdout);
+  std::printf("\nBatched serving: %.2fx the QPS of one-forward-per-request.\n",
+              r_batched.qps / r_single.qps);
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/support/check.h"
+#include "src/support/fnv_hash.h"
 
 namespace cdmpp {
 
@@ -11,6 +12,22 @@ namespace {
 float Log1p(double x) { return static_cast<float>(std::log1p(std::max(0.0, x))); }
 
 }  // namespace
+
+uint64_t CompactAst::Hash() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMix(h, static_cast<uint64_t>(num_nodes));
+  h = FnvMix(h, static_cast<uint64_t>(num_leaves));
+  h = FnvMix(h, static_cast<uint64_t>(max_depth));
+  for (int v : ordering) {
+    h = FnvMix(h, static_cast<uint64_t>(v));
+  }
+  for (const ComputationVector& cv : leaves) {
+    for (float f : cv) {
+      h = FnvMixFloat(h, f);
+    }
+  }
+  return h;
+}
 
 ComputationVector BuildComputationVector(const LeafContext& leaf) {
   ComputationVector v{};

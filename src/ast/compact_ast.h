@@ -10,6 +10,7 @@
 #define SRC_AST_COMPACT_AST_H_
 
 #include <array>
+#include <cstdint>
 #include <vector>
 
 #include "src/tir/program.h"
@@ -50,6 +51,12 @@ struct CompactAst {
   // Pre-order index of each leaf within the full AST (the ordering vector V
   // of Fig. 1(d)); strictly increasing.
   std::vector<int> ordering;
+
+  // Stable 64-bit content hash (FNV-1a over node counts, the ordering vector,
+  // and the raw bit patterns of every leaf feature). Equal ASTs hash equal
+  // across runs and processes, so the hash is usable as a persistent cache
+  // key; see the serving-layer prediction cache (src/serve/).
+  uint64_t Hash() const;
 };
 
 // Builds the compact AST of a scheduled program.

@@ -412,46 +412,70 @@ std::vector<double> CdmppPredictor::Predict(const Dataset& ds, const std::vector
 
 double CdmppPredictor::PredictAst(const CompactAst& ast, int device_id) {
   CDMPP_CHECK(fitted_);
-  const int l = ast.num_leaves;
-  CDMPP_CHECK(l > 0);
-  if (leaf_heads_.find(l) == leaf_heads_.end()) {
-    leaf_heads_[l] = std::make_unique<Linear>(l * config_.d_model, config_.z_dim, &rng_);
-    RebuildOptimizer();
+  CDMPP_CHECK(ast.num_leaves > 0);
+  EnsureHead(ast.num_leaves);
+  AstBatchView view;
+  view.asts = {&ast};
+  view.device_ids = {device_id};
+  return PredictBatched(view)[0];
+}
+
+bool CdmppPredictor::HasHead(int leaf_count) const {
+  return leaf_heads_.find(leaf_count) != leaf_heads_.end();
+}
+
+void CdmppPredictor::EnsureHead(int leaf_count) {
+  CDMPP_CHECK(leaf_count > 0);
+  if (HasHead(leaf_count)) {
+    return;
   }
-  Matrix x(l, kFeatDim);
-  for (int t = 0; t < l; ++t) {
-    float* row = x.Row(t);
-    const ComputationVector& cv = ast.leaves[static_cast<size_t>(t)];
-    for (int j = 0; j < kFeatDim; ++j) {
-      row[j] = cv[static_cast<size_t>(j)];
-    }
-    scaler_.ApplyRow(row);
-    if (config_.use_pe) {
-      ComputationVector pe =
-          PositionalEncoding(ast.ordering[static_cast<size_t>(t)], config_.pe_theta);
-      for (int j = 0; j < kFeatDim; ++j) {
-        row[j] += pe[static_cast<size_t>(j)];
+  leaf_heads_[leaf_count] =
+      std::make_unique<Linear>(leaf_count * config_.d_model, config_.z_dim, &rng_);
+  RebuildOptimizer();
+}
+
+std::vector<double> CdmppPredictor::PredictBatched(const AstBatchView& view,
+                                                   uint64_t* num_forward_passes) const {
+  CDMPP_CHECK(fitted_);
+  CDMPP_CHECK(view.asts.size() == view.device_ids.size());
+  std::vector<double> out(view.size(), 0.0);
+  auto buckets = GroupByLeafCount(view);
+  std::vector<Batch> batches = MakeBatches(buckets, config_.batch_size, /*rng=*/nullptr);
+  if (num_forward_passes != nullptr) {
+    *num_forward_passes = batches.size();
+  }
+  for (const Batch& batch : batches) {
+    const int b = static_cast<int>(batch.sample_indices.size());
+    const int l = batch.seq_len;
+    auto head_it = leaf_heads_.find(l);
+    CDMPP_CHECK_MSG(head_it != leaf_heads_.end(),
+                    "no head for this leaf count; call EnsureHead first");
+
+    Matrix x = BuildFeatureMatrix(view, batch, scaler_.fitted() ? &scaler_ : nullptr,
+                                  config_.use_pe, config_.pe_theta);
+    Matrix h = encoder_->ForwardInference(input_proj_->ForwardInference(x), l);
+    Matrix zx = head_it->second->ForwardInference(PackRows(h, b, l));
+    Matrix zv = device_mlp_->ForwardInference(BuildDeviceFeatureMatrix(view, batch));
+
+    Matrix z(b, config_.z_dim + config_.device_embed_dim);
+    for (int i = 0; i < b; ++i) {
+      float* row = z.Row(i);
+      for (int j = 0; j < config_.z_dim; ++j) {
+        row[j] = zx.At(i, j);
+      }
+      for (int j = 0; j < config_.device_embed_dim; ++j) {
+        row[config_.z_dim + j] = zv.At(i, j);
       }
     }
+    Matrix preds = decoder_->ForwardInference(z);
+    for (int i = 0; i < b; ++i) {
+      double pred_ms = label_transform_->Inverse(
+          ClampTransformed(static_cast<double>(preds.At(i, 0))));
+      out[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])] =
+          pred_ms / kSecondsToMs;
+    }
   }
-  Matrix h = encoder_->Forward(input_proj_->Forward(x), l);
-  Matrix zx = leaf_heads_.at(l)->Forward(PackRows(h, 1, l));
-  std::vector<float> dev = ExtractDeviceFeatures(DeviceById(device_id));
-  Matrix v(1, kDeviceFeatDim);
-  for (int j = 0; j < kDeviceFeatDim; ++j) {
-    v.At(0, j) = dev[static_cast<size_t>(j)];
-  }
-  Matrix zv = device_mlp_->Forward(v);
-  Matrix z(1, config_.z_dim + config_.device_embed_dim);
-  for (int j = 0; j < config_.z_dim; ++j) {
-    z.At(0, j) = zx.At(0, j);
-  }
-  for (int j = 0; j < config_.device_embed_dim; ++j) {
-    z.At(0, config_.z_dim + j) = zv.At(0, j);
-  }
-  double pred_ms = label_transform_->Inverse(
-      ClampTransformed(static_cast<double>(decoder_->Forward(z).At(0, 0))));
-  return pred_ms / kSecondsToMs;
+  return out;
 }
 
 double CdmppPredictor::PredictProgram(const Dataset& ds, int program_index, int device_id) {

@@ -108,6 +108,36 @@ class CdmppPredictor {
   // created on demand if training never saw that count.
   double PredictAst(const CompactAst& ast, int device_id);
 
+  // ---- Serving / const inference path (src/serve/) -------------------------
+  //
+  // PredictBatched is the online hot path: a *const* batched forward over
+  // free-standing (AST, device) requests, one cache-free forward pass per
+  // leaf-count bucket (chunked to config().batch_size). Thread-safety
+  // contract: any number of threads may call PredictBatched concurrently on a
+  // shared predictor without locking, as long as no thread mutates the model
+  // (training, EnsureHead, ImportParams) at the same time — the forward pass
+  // reads parameters only and writes no member state. Results are
+  // bitwise-identical to per-AST PredictAst calls on the same model.
+  //
+  // Requires fitted() and HasHead() for every leaf count present in the view;
+  // the serving layer creates missing heads via EnsureHead under its write
+  // lock before entering the lock-free path.
+  //
+  // When `num_forward_passes` is non-null it receives the number of forward
+  // passes actually run (one per leaf-count bucket chunk) — the serving stats
+  // report it rather than re-deriving the chunking.
+  std::vector<double> PredictBatched(const AstBatchView& view,
+                                     uint64_t* num_forward_passes = nullptr) const;
+
+  // True once Pretrain has fitted the feature scaler and label transform.
+  bool fitted() const { return fitted_; }
+  // True if a per-leaf-count head exists for `leaf_count`.
+  bool HasHead(int leaf_count) const;
+  // Creates the head for `leaf_count` if missing and rebuilds the optimizer
+  // so later training sees every parameter. Mutating — serialize against
+  // concurrent PredictBatched calls.
+  void EnsureHead(int leaf_count);
+
   EvalStats Evaluate(const Dataset& ds, const std::vector<int>& indices);
 
   // Latent representations z = z_x (+) z_v, one row per sample.

@@ -103,6 +103,59 @@ Matrix StackLeafRows(const Dataset& ds, const std::vector<int>& sample_indices) 
   return out;
 }
 
+std::map<int, std::vector<int>> GroupByLeafCount(const AstBatchView& view) {
+  CDMPP_CHECK(view.asts.size() == view.device_ids.size());
+  std::map<int, std::vector<int>> buckets;
+  for (size_t i = 0; i < view.asts.size(); ++i) {
+    CDMPP_CHECK(view.asts[i] != nullptr);
+    buckets[view.asts[i]->num_leaves].push_back(static_cast<int>(i));
+  }
+  return buckets;
+}
+
+Matrix BuildFeatureMatrix(const AstBatchView& view, const Batch& batch,
+                          const StandardScaler* scaler, bool use_pe, double theta) {
+  const int b = static_cast<int>(batch.sample_indices.size());
+  const int l = batch.seq_len;
+  Matrix x(b * l, kFeatDim);
+  for (int i = 0; i < b; ++i) {
+    const CompactAst& ast =
+        *view.asts[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])];
+    CDMPP_CHECK(ast.num_leaves == l);
+    for (int t = 0; t < l; ++t) {
+      float* row = x.Row(i * l + t);
+      const ComputationVector& cv = ast.leaves[static_cast<size_t>(t)];
+      for (int j = 0; j < kFeatDim; ++j) {
+        row[j] = cv[static_cast<size_t>(j)];
+      }
+      if (scaler != nullptr) {
+        scaler->ApplyRow(row);
+      }
+      if (use_pe) {
+        ComputationVector pe = PositionalEncoding(ast.ordering[static_cast<size_t>(t)], theta);
+        for (int j = 0; j < kFeatDim; ++j) {
+          row[j] += pe[static_cast<size_t>(j)];
+        }
+      }
+    }
+  }
+  return x;
+}
+
+Matrix BuildDeviceFeatureMatrix(const AstBatchView& view, const Batch& batch) {
+  const int b = static_cast<int>(batch.sample_indices.size());
+  Matrix out(b, kDeviceFeatDim);
+  for (int i = 0; i < b; ++i) {
+    const int device_id =
+        view.device_ids[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])];
+    std::vector<float> feats = ExtractDeviceFeatures(DeviceById(device_id));
+    for (int j = 0; j < kDeviceFeatDim; ++j) {
+      out.At(i, j) = feats[static_cast<size_t>(j)];
+    }
+  }
+  return out;
+}
+
 std::vector<double> GatherLabels(const Dataset& ds, const std::vector<int>& sample_indices) {
   std::vector<double> out;
   out.reserve(sample_indices.size());

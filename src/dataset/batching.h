@@ -41,6 +41,31 @@ Matrix BuildDeviceFeatureMatrix(const Dataset& ds, const Batch& batch);
 // fit the feature scaler on training data.
 Matrix StackLeafRows(const Dataset& ds, const std::vector<int>& sample_indices);
 
+// ---- Batch-from-programs adapter (serving path, src/serve/) ----------------
+//
+// The online serving layer batches free-standing (program, device) requests
+// that are not dataset samples. AstBatchView adapts a request list to the
+// same leaf-count-bucketed batching machinery: GroupByLeafCount buckets
+// *positions into the view*, MakeBatches chunks the buckets unchanged, and
+// the two matrix builders below mirror their Dataset counterparts row for
+// row, so batched serving reuses the exact feature layout of training.
+struct AstBatchView {
+  std::vector<const CompactAst*> asts;  // non-owning, parallel to device_ids
+  std::vector<int> device_ids;
+
+  size_t size() const { return asts.size(); }
+};
+
+// Groups view positions [0, view.size()) by each AST's leaf count.
+std::map<int, std::vector<int>> GroupByLeafCount(const AstBatchView& view);
+
+// Feature matrix for a batch whose sample_indices are positions into `view`.
+Matrix BuildFeatureMatrix(const AstBatchView& view, const Batch& batch,
+                          const StandardScaler* scaler, bool use_pe, double theta = 10000.0);
+
+// Device feature matrix for a batch of view positions.
+Matrix BuildDeviceFeatureMatrix(const AstBatchView& view, const Batch& batch);
+
 // Gathers raw latency labels (seconds) of the given samples.
 std::vector<double> GatherLabels(const Dataset& ds, const std::vector<int>& sample_indices);
 

@@ -3,8 +3,23 @@
 #include <cmath>
 
 #include "src/support/check.h"
+#include "src/support/fnv_hash.h"
 
 namespace cdmpp {
+
+uint64_t DeviceSpec::Fingerprint() const {
+  uint64_t h = kFnvOffset;
+  h = FnvMixBytes(h, name.data(), name.size());
+  uint64_t id_and_class =
+      (static_cast<uint64_t>(static_cast<uint32_t>(id)) << 8) | static_cast<uint64_t>(cls);
+  h = FnvMix(h, id_and_class);
+  for (double d : {clock_mhz, mem_gb, mem_bw_gbps, static_cast<double>(cores), peak_gflops,
+                   l1_kb, l2_mb, launch_overhead_us, vector_width, occupancy_knee,
+                   gemm_affinity}) {
+    h = FnvMixDouble(h, d);
+  }
+  return h;
+}
 
 const char* DeviceClassName(DeviceClass cls) {
   switch (cls) {

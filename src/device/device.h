@@ -8,6 +8,7 @@
 #ifndef SRC_DEVICE_DEVICE_H_
 #define SRC_DEVICE_DEVICE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct DeviceSpec {
   double occupancy_knee = 1.0;
   // Efficiency multiplier for GEMM-class work (tensor cores / GEMM engines).
   double gemm_affinity = 1.0;
+
+  // Stable 64-bit fingerprint of the full spec (name + every numeric field).
+  // Two specs fingerprint equal iff the cost model would see identical device
+  // features, so the fingerprint is usable as a persistent cache-key component
+  // (src/serve/). Stable across runs and processes.
+  uint64_t Fingerprint() const;
 };
 
 // All nine devices of Table 2, ids 0..8, stable ordering:

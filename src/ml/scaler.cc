@@ -12,19 +12,22 @@ void StandardScaler::Fit(const Matrix& x) {
   const int d = x.cols();
   mean_.assign(static_cast<size_t>(d), 0.0f);
   inv_std_.assign(static_cast<size_t>(d), 1.0f);
-  std::vector<double> sum(static_cast<size_t>(d), 0.0);
-  std::vector<double> sum_sq(static_cast<size_t>(d), 0.0);
+  // Welford's streaming moments: the naive sum_sq/n - mu*mu form cancels
+  // catastrophically for large-magnitude columns and can go negative.
+  std::vector<double> mu(static_cast<size_t>(d), 0.0);
+  std::vector<double> m2(static_cast<size_t>(d), 0.0);
   for (int i = 0; i < n; ++i) {
     const float* row = x.Row(i);
+    const double count = static_cast<double>(i + 1);
     for (int j = 0; j < d; ++j) {
-      sum[static_cast<size_t>(j)] += row[j];
-      sum_sq[static_cast<size_t>(j)] += static_cast<double>(row[j]) * row[j];
+      double delta = row[j] - mu[static_cast<size_t>(j)];
+      mu[static_cast<size_t>(j)] += delta / count;
+      m2[static_cast<size_t>(j)] += delta * (row[j] - mu[static_cast<size_t>(j)]);
     }
   }
   for (int j = 0; j < d; ++j) {
-    double mu = sum[static_cast<size_t>(j)] / n;
-    double var = sum_sq[static_cast<size_t>(j)] / n - mu * mu;
-    mean_[static_cast<size_t>(j)] = static_cast<float>(mu);
+    double var = m2[static_cast<size_t>(j)] / n;  // population variance, >= 0
+    mean_[static_cast<size_t>(j)] = static_cast<float>(mu[static_cast<size_t>(j)]);
     inv_std_[static_cast<size_t>(j)] =
         var > 1e-10 ? static_cast<float>(1.0 / std::sqrt(var)) : 1.0f;
   }

@@ -73,6 +73,33 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, int seq_len) {
   return wo_->Forward(context);
 }
 
+Matrix MultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len) const {
+  CDMPP_CHECK(seq_len > 0);
+  CDMPP_CHECK(x.rows() % seq_len == 0);
+  CDMPP_CHECK(x.cols() == d_model_);
+  const int batch = x.rows() / seq_len;
+
+  Matrix q_all = wq_->ForwardInference(x);
+  Matrix k_all = wk_->ForwardInference(x);
+  Matrix v_all = wv_->ForwardInference(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  Matrix context(x.rows(), d_model_);
+  for (int b = 0; b < batch; ++b) {
+    for (int h = 0; h < num_heads_; ++h) {
+      Matrix q = ExtractBlock(q_all, b, h, seq_len, d_head_);
+      Matrix k = ExtractBlock(k_all, b, h, seq_len, d_head_);
+      Matrix v = ExtractBlock(v_all, b, h, seq_len, d_head_);
+      Matrix scores = MatMulTransB(q, k);
+      scores.Scale(scale);
+      SoftmaxRows(&scores);
+      Matrix out = MatMul(scores, v);
+      AccumulateBlock(&context, out, b, h, seq_len, d_head_);
+    }
+  }
+  return wo_->ForwardInference(context);
+}
+
 Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
   const int seq_len = cached_seq_len_;
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));

@@ -20,6 +20,9 @@ class MultiHeadSelfAttention : public Module {
 
   // x: [batch * seq_len, d_model]. Returns the same shape.
   Matrix Forward(const Matrix& x, int seq_len);
+  // Cache-free const forward (see src/nn/layers.h); attention weights are
+  // computed into locals and discarded.
+  Matrix ForwardInference(const Matrix& x, int seq_len) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 

@@ -19,6 +19,13 @@ Matrix Linear::Forward(const Matrix& x) {
   return y;
 }
 
+Matrix Linear::ForwardInference(const Matrix& x) const {
+  CDMPP_CHECK(x.cols() == w_.value.rows());
+  Matrix y = MatMul(x, w_.value);
+  AddRowBroadcast(&y, b_.value);
+  return y;
+}
+
 Matrix Linear::Backward(const Matrix& dy) {
   CDMPP_CHECK(dy.rows() == cached_x_.rows() && dy.cols() == w_.value.cols());
   w_.grad.AddInPlace(MatMulTransA(cached_x_, dy));
@@ -35,6 +42,10 @@ void Linear::CollectParams(std::vector<Param*>* out) {
 
 Matrix Relu::Forward(const Matrix& x) {
   cached_x_ = x;
+  return ForwardInference(x);
+}
+
+Matrix Relu::ForwardInference(const Matrix& x) const {
   Matrix y = x;
   for (int i = 0; i < y.rows(); ++i) {
     float* row = y.Row(i);
@@ -100,6 +111,31 @@ Matrix LayerNorm::Forward(const Matrix& x) {
   return y;
 }
 
+Matrix LayerNorm::ForwardInference(const Matrix& x) const {
+  const int n = x.rows();
+  const int d = x.cols();
+  Matrix y(n, d);
+  for (int i = 0; i < n; ++i) {
+    const float* row = x.Row(i);
+    float mean = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      mean += row[j];
+    }
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      var += (row[j] - mean) * (row[j] - mean);
+    }
+    var /= static_cast<float>(d);
+    float inv_std = 1.0f / std::sqrt(var + kEps);
+    float* yrow = y.Row(i);
+    for (int j = 0; j < d; ++j) {
+      yrow[j] = (row[j] - mean) * inv_std * gamma_.value.At(0, j) + beta_.value.At(0, j);
+    }
+  }
+  return y;
+}
+
 Matrix LayerNorm::Backward(const Matrix& dy) {
   const int n = dy.rows();
   const int d = dy.cols();
@@ -151,6 +187,17 @@ Matrix Mlp::Forward(const Matrix& x) {
     h = linears_[i]->Forward(h);
     if (i + 1 < linears_.size()) {
       h = relus_[i].Forward(h);
+    }
+  }
+  return h;
+}
+
+Matrix Mlp::ForwardInference(const Matrix& x) const {
+  Matrix h = x;
+  for (size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i]->ForwardInference(h);
+    if (i + 1 < linears_.size()) {
+      h = relus_[i].ForwardInference(h);
     }
   }
   return h;

@@ -3,6 +3,12 @@
 // Convention: Forward caches whatever the matching Backward needs; Backward
 // takes dLoss/dOutput, *accumulates* parameter gradients, and returns
 // dLoss/dInput. Call ZeroGrad between steps.
+//
+// Every layer also exposes ForwardInference: a const forward pass that writes
+// no caches and touches no mutable state, computing bitwise-identical outputs
+// to Forward. Any number of threads may call ForwardInference concurrently on
+// a shared layer as long as no thread mutates parameters at the same time —
+// this is the serving hot path (src/serve/).
 #ifndef SRC_NN_LAYERS_H_
 #define SRC_NN_LAYERS_H_
 
@@ -59,6 +65,7 @@ class Linear : public Module {
   Linear(int in_dim, int out_dim, Rng* rng);
 
   Matrix Forward(const Matrix& x);
+  Matrix ForwardInference(const Matrix& x) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 
@@ -75,6 +82,7 @@ class Linear : public Module {
 class Relu : public Module {
  public:
   Matrix Forward(const Matrix& x);
+  Matrix ForwardInference(const Matrix& x) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>*) override {}
 
@@ -88,6 +96,7 @@ class LayerNorm : public Module {
   explicit LayerNorm(int dim);
 
   Matrix Forward(const Matrix& x);
+  Matrix ForwardInference(const Matrix& x) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 
@@ -106,6 +115,7 @@ class Mlp : public Module {
   Mlp(const std::vector<int>& dims, Rng* rng);
 
   Matrix Forward(const Matrix& x);
+  Matrix ForwardInference(const Matrix& x) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 

@@ -18,6 +18,16 @@ Matrix TransformerEncoderLayer::Forward(const Matrix& x, int seq_len) {
   return norm2_.Forward(ff);
 }
 
+Matrix TransformerEncoderLayer::ForwardInference(const Matrix& x, int seq_len) const {
+  Matrix attn_out = attn_.ForwardInference(x, seq_len);
+  attn_out.AddInPlace(x);  // residual
+  Matrix h = norm1_.ForwardInference(attn_out);
+
+  Matrix ff = ff2_->ForwardInference(ff_relu_.ForwardInference(ff1_->ForwardInference(h)));
+  ff.AddInPlace(h);  // residual
+  return norm2_.ForwardInference(ff);
+}
+
 Matrix TransformerEncoderLayer::Backward(const Matrix& dy) {
   Matrix d_ff_sum = norm2_.Backward(dy);
   // d_ff_sum flows to both the FFN branch and the residual (h).
@@ -51,6 +61,14 @@ Matrix TransformerEncoder::Forward(const Matrix& x, int seq_len) {
   Matrix h = x;
   for (auto& layer : layers_) {
     h = layer->Forward(h, seq_len);
+  }
+  return h;
+}
+
+Matrix TransformerEncoder::ForwardInference(const Matrix& x, int seq_len) const {
+  Matrix h = x;
+  for (const auto& layer : layers_) {
+    h = layer->ForwardInference(h, seq_len);
   }
   return h;
 }

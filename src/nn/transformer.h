@@ -16,6 +16,7 @@ class TransformerEncoderLayer : public Module {
   TransformerEncoderLayer(int d_model, int num_heads, int d_ff, Rng* rng);
 
   Matrix Forward(const Matrix& x, int seq_len);
+  Matrix ForwardInference(const Matrix& x, int seq_len) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 
@@ -34,6 +35,9 @@ class TransformerEncoder : public Module {
   TransformerEncoder(int d_model, int num_heads, int d_ff, int num_layers, Rng* rng);
 
   Matrix Forward(const Matrix& x, int seq_len);
+  // Cache-free const forward (see src/nn/layers.h): safe for concurrent use
+  // on a shared encoder while no thread is training it.
+  Matrix ForwardInference(const Matrix& x, int seq_len) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 

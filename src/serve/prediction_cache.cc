@@ -1,0 +1,61 @@
+#include "src/serve/prediction_cache.h"
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+PredictionCache::PredictionCache(size_t capacity, int num_shards) : capacity_(capacity) {
+  CDMPP_CHECK(capacity > 0);
+  CDMPP_CHECK(num_shards > 0);
+  // Never let integer division starve a shard.
+  per_shard_capacity_ = (capacity + static_cast<size_t>(num_shards) - 1) /
+                        static_cast<size_t>(num_shards);
+  shards_ = std::vector<Shard>(static_cast<size_t>(num_shards));
+}
+
+PredictionCache::Shard& PredictionCache::ShardFor(const CacheKey& key) {
+  return shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+bool PredictionCache::Lookup(const CacheKey& key, double* latency_seconds) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *latency_seconds = it->second->latency_seconds;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PredictionCache::Insert(const CacheKey& key, double latency_seconds) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->latency_seconds = latency_seconds;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, latency_seconds});
+  shard.index[key] = shard.lru.begin();
+}
+
+size_t PredictionCache::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,91 @@
+// Sharded LRU cache for served latency predictions.
+//
+// Keyed by (CompactAst::Hash(), DeviceSpec::Fingerprint()): two requests hit
+// the same entry iff the cost model would see identical program features and
+// identical device features, so a hit can skip the forward pass entirely.
+// Autotuners re-query the same candidate schedules constantly (paper §6), so
+// hit rates under real search traffic are high.
+//
+// Sharding: entries are distributed over independently locked shards by key
+// hash, so concurrent lookups from the serving worker pool contend only when
+// they land on the same shard.
+#ifndef SRC_SERVE_PREDICTION_CACHE_H_
+#define SRC_SERVE_PREDICTION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace cdmpp {
+
+// Cache identity of one (program, device) request.
+struct CacheKey {
+  uint64_t ast_hash = 0;
+  uint64_t device_fingerprint = 0;
+
+  bool operator==(const CacheKey& other) const {
+    return ast_hash == other.ast_hash && device_fingerprint == other.device_fingerprint;
+  }
+};
+
+// Mixes both halves so shard selection and bucket placement see all key bits.
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    uint64_t h = key.ast_hash;
+    h ^= key.device_fingerprint + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+class PredictionCache {
+ public:
+  // `capacity` is the total entry budget, split evenly across `num_shards`.
+  PredictionCache(size_t capacity, int num_shards);
+
+  PredictionCache(const PredictionCache&) = delete;
+  PredictionCache& operator=(const PredictionCache&) = delete;
+
+  // On hit, writes the cached prediction (latency in seconds) and refreshes
+  // the entry's recency. Thread-safe.
+  bool Lookup(const CacheKey& key, double* latency_seconds);
+
+  // Inserts or refreshes; evicts the shard's least-recently-used entry when
+  // the shard is at capacity. Thread-safe.
+  void Insert(const CacheKey& key, double latency_seconds);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    double latency_seconds = 0.0;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    // Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index;
+  };
+
+  Shard& ShardFor(const CacheKey& key);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_SERVE_PREDICTION_CACHE_H_

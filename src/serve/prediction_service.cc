@@ -1,0 +1,206 @@
+#include "src/serve/prediction_service.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+PredictionService::PredictionService(CdmppPredictor* predictor, const ServeOptions& options)
+    : predictor_(predictor),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
+  CDMPP_CHECK(predictor != nullptr);
+  CDMPP_CHECK_MSG(predictor->fitted(), "serve an unfitted predictor: run Pretrain first");
+  CDMPP_CHECK(options.num_workers > 0);
+  CDMPP_CHECK(options.max_batch_size > 0);
+  CDMPP_CHECK(options.batch_window_ms >= 0.0);
+  workers_.reserve(static_cast<size_t>(options.num_workers));
+  for (int i = 0; i < options.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PredictionService::~PredictionService() { Shutdown(); }
+
+void PredictionService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+}
+
+std::future<double> PredictionService::Submit(const CompactAst& ast, int device_id) {
+  const auto t0 = std::chrono::steady_clock::now();
+  CDMPP_CHECK(ast.num_leaves > 0);
+  CacheKey key{ast.Hash(), DeviceById(device_id).Fingerprint()};
+
+  if (options_.enable_cache) {
+    double cached = 0.0;
+    if (cache_.Lookup(key, &cached)) {
+      stats_.RecordRequest();
+      stats_.RecordCacheHits();
+      stats_.RecordLatencyMs(MsSince(t0));
+      std::promise<double> ready;
+      ready.set_value(cached);
+      return ready.get_future();
+    }
+  }
+
+  Request req;
+  req.ast = ast;
+  req.device_id = device_id;
+  req.key = key;
+  req.submit_time = t0;
+  std::future<double> result = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    CDMPP_CHECK_MSG(!stop_, "Submit after Shutdown");
+    queue_.push_back(std::move(req));
+  }
+  queue_cv_.notify_one();
+  return result;
+}
+
+double PredictionService::Predict(const CompactAst& ast, int device_id) {
+  return Submit(ast, device_id).get();
+}
+
+void PredictionService::WorkerLoop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop_ set and nothing left to drain
+      }
+      // Give concurrent submitters a short window to fill the batch. A plain
+      // unlocked sleep, deliberately not a condition wait: every Submit
+      // notifies the queue, and re-checking a wait predicate per notification
+      // costs a wakeup per request — exactly the per-request overhead
+      // batching exists to amortize. Shutdown latency is bounded by the
+      // window, which is sub-millisecond in practice.
+      if (options_.batch_window_ms > 0.0 && !stop_ &&
+          static_cast<int>(queue_.size()) < options_.max_batch_size) {
+        lock.unlock();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(options_.batch_window_ms));
+        lock.lock();
+      }
+      const size_t take =
+          std::min(queue_.size(), static_cast<size_t>(options_.max_batch_size));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void PredictionService::ProcessBatch(std::vector<Request> requests) {
+  // Coalesce duplicate in-flight keys: one forward row answers all of them.
+  std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> groups;
+  std::vector<size_t> unique_order;  // first request position per distinct key
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto [it, inserted] = groups.try_emplace(requests[i].key);
+    if (inserted) {
+      unique_order.push_back(i);
+    }
+    it->second.push_back(i);
+  }
+
+  auto fulfill = [this, &requests, &groups](const CacheKey& key, double latency_seconds) {
+    for (size_t pos : groups.at(key)) {
+      // Record before resolving: a client observing the future must also
+      // observe its request in Stats().
+      stats_.RecordRequest();
+      stats_.RecordLatencyMs(MsSince(requests[pos].submit_time));
+      requests[pos].promise.set_value(latency_seconds);
+    }
+  };
+
+  // Re-check the cache: another worker may have computed a key while these
+  // requests sat in the queue.
+  std::vector<size_t> to_compute;
+  for (size_t pos : unique_order) {
+    double cached = 0.0;
+    if (options_.enable_cache && cache_.Lookup(requests[pos].key, &cached)) {
+      stats_.RecordCacheHits(groups.at(requests[pos].key).size());
+      fulfill(requests[pos].key, cached);
+    } else {
+      to_compute.push_back(pos);
+    }
+  }
+  if (to_compute.empty()) {
+    return;
+  }
+
+  AstBatchView view;
+  view.asts.reserve(to_compute.size());
+  view.device_ids.reserve(to_compute.size());
+  for (size_t pos : to_compute) {
+    view.asts.push_back(&requests[pos].ast);
+    view.device_ids.push_back(requests[pos].device_id);
+  }
+  auto buckets = GroupByLeafCount(view);
+
+  // Rare slow path: create heads for leaf counts training never saw, under
+  // the exclusive lock. EnsureHead re-checks, so racing workers are safe.
+  std::vector<int> missing_heads;
+  {
+    std::shared_lock<std::shared_mutex> lock(model_mu_);
+    for (const auto& [leaves, positions] : buckets) {
+      (void)positions;
+      if (!predictor_->HasHead(leaves)) {
+        missing_heads.push_back(leaves);
+      }
+    }
+  }
+  if (!missing_heads.empty()) {
+    std::unique_lock<std::shared_mutex> lock(model_mu_);
+    for (int leaves : missing_heads) {
+      predictor_->EnsureHead(leaves);
+    }
+  }
+
+  std::vector<double> predictions;
+  uint64_t passes = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(model_mu_);
+    predictions = predictor_->PredictBatched(view, &passes);
+  }
+  stats_.RecordForwardPasses(passes, static_cast<uint64_t>(view.size()));
+
+  for (size_t u = 0; u < to_compute.size(); ++u) {
+    const CacheKey& key = requests[to_compute[u]].key;
+    const double latency_seconds = predictions[u];
+    if (options_.enable_cache) {
+      cache_.Insert(key, latency_seconds);
+    }
+    stats_.RecordCoalesced(groups.at(key).size() - 1);
+    fulfill(key, latency_seconds);
+  }
+}
+
+}  // namespace cdmpp

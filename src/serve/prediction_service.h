@@ -1,0 +1,115 @@
+// In-process batched inference serving in front of CdmppPredictor.
+//
+// The offline library answers one latency query per forward pass; an
+// autotuner or schedule searcher issues millions of small queries, so the
+// serving layer turns request concurrency into batch parallelism using the
+// same leaf-count bucketing that makes CDMPP training cheap (paper §5.1):
+//
+//   Submit(ast, device) ──▶ prediction cache ──hit──▶ resolved future
+//                                │ miss
+//                                ▼
+//                          request queue ──▶ worker pool drains pending
+//                          requests, coalesces duplicates, groups by leaf
+//                          count (AstBatchView adapter, src/dataset/
+//                          batching.h), and runs ONE cache-free const
+//                          forward pass per bucket (PredictBatched).
+//
+// Threading model: workers never take an exclusive lock on the hot path. The
+// model is shared read-only through CdmppPredictor::PredictBatched (const,
+// cache-free — see src/core/predictor.h); an exclusive lock is taken only on
+// the rare first sighting of a new leaf count, to create its head.
+#ifndef SRC_SERVE_PREDICTION_SERVICE_H_
+#define SRC_SERVE_PREDICTION_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/predictor.h"
+#include "src/serve/prediction_cache.h"
+#include "src/serve/server_stats.h"
+
+namespace cdmpp {
+
+struct ServeOptions {
+  int num_workers = 2;
+  // Upper bound on requests drained per worker wake-up; buckets inside a
+  // drain are additionally chunked to the predictor's config batch size.
+  int max_batch_size = 64;
+  // After the first pending request, a worker waits up to this long for more
+  // requests to accumulate before running the forward pass. 0 disables the
+  // window (every request is served as soon as a worker is free).
+  double batch_window_ms = 0.2;
+  bool enable_cache = true;
+  size_t cache_capacity = 1 << 16;
+  int cache_shards = 16;
+};
+
+class PredictionService {
+ public:
+  // `predictor` must be fitted (Pretrain has run) and must outlive the
+  // service. The service serializes its own head creation against its
+  // forward passes; the caller must not train or mutate the predictor while
+  // the service is running.
+  PredictionService(CdmppPredictor* predictor, const ServeOptions& options);
+  ~PredictionService();
+
+  PredictionService(const PredictionService&) = delete;
+  PredictionService& operator=(const PredictionService&) = delete;
+
+  // Asynchronous prediction. The future resolves to the predicted latency in
+  // seconds — immediately on a cache hit, after a batched forward pass
+  // otherwise. Thread-safe; callable from any number of client threads.
+  std::future<double> Submit(const CompactAst& ast, int device_id);
+
+  // Blocking convenience wrapper around Submit. Must not be called from a
+  // worker thread (it waits on the worker pool).
+  double Predict(const CompactAst& ast, int device_id);
+
+  // Drains outstanding requests, then stops the workers. Idempotent; also
+  // run by the destructor. Submit must not be called afterwards.
+  void Shutdown();
+
+  ServerStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  const PredictionCache& cache() const { return cache_; }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    CompactAst ast;  // owned copy: the request may outlive the caller's object
+    int device_id = -1;
+    CacheKey key;
+    std::promise<double> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  void WorkerLoop();
+  // Coalesces duplicates, re-checks the cache, runs the batched forward for
+  // the remaining unique rows, and fulfills every promise.
+  void ProcessBatch(std::vector<Request> requests);
+
+  CdmppPredictor* predictor_;
+  ServeOptions options_;
+  PredictionCache cache_;
+  ServerStats stats_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+
+  // Shared: batched forward passes. Exclusive: head creation for a leaf
+  // count the model has never seen.
+  std::shared_mutex model_mu_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_SERVE_PREDICTION_SERVICE_H_

@@ -1,0 +1,61 @@
+#include "src/serve/server_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/support/stats.h"
+
+namespace cdmpp {
+
+ServerStats::ServerStats(size_t max_latency_samples)
+    : max_latency_samples_(max_latency_samples), start_(std::chrono::steady_clock::now()) {
+  latency_ms_.reserve(std::min<size_t>(max_latency_samples, 4096));
+}
+
+void ServerStats::RecordLatencyMs(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  if (latency_ms_.size() < max_latency_samples_) {
+    latency_ms_.push_back(ms);
+  }
+}
+
+ServerStatsSnapshot ServerStats::Snapshot() const {
+  ServerStatsSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.forward_passes = forward_passes_.load(std::memory_order_relaxed);
+  s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
+  s.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  s.qps = s.wall_seconds > 0.0 ? static_cast<double>(s.requests) / s.wall_seconds : 0.0;
+  s.cache_hit_rate =
+      s.requests > 0 ? static_cast<double>(s.cache_hits) / static_cast<double>(s.requests) : 0.0;
+  s.mean_batch_occupancy =
+      s.forward_passes > 0
+          ? static_cast<double>(s.batched_rows) / static_cast<double>(s.forward_passes)
+          : 0.0;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    latencies = latency_ms_;
+  }
+  if (!latencies.empty()) {
+    s.p50_latency_ms = Percentile(latencies, 50.0);
+    s.p99_latency_ms = Percentile(std::move(latencies), 99.0);
+  }
+  return s;
+}
+
+std::string ServerStatsSnapshot::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%llu reqs in %.3fs (%.0f QPS) | hit rate %.1f%% | "
+                "%llu fwd passes, mean occupancy %.1f | p50 %.3fms p99 %.3fms",
+                static_cast<unsigned long long>(requests), wall_seconds, qps,
+                cache_hit_rate * 100.0, static_cast<unsigned long long>(forward_passes),
+                mean_batch_occupancy, p50_latency_ms, p99_latency_ms);
+  return buf;
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,74 @@
+// Thread-safe serving counters and the derived metrics block reported by the
+// load-generator benchmark and the quickstart example.
+//
+// Counters are lock-free atomics on the hot path; request latencies go into a
+// bounded mutex-guarded sample buffer that the snapshot reduces to p50/p99
+// with the shared Percentile helper (src/support/stats.h).
+#ifndef SRC_SERVE_SERVER_STATS_H_
+#define SRC_SERVE_SERVER_STATS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cdmpp {
+
+// Point-in-time view of the service, with all derived metrics precomputed.
+struct ServerStatsSnapshot {
+  uint64_t requests = 0;        // completed requests (cache hits included)
+  uint64_t cache_hits = 0;      // requests answered without a forward pass
+  uint64_t coalesced = 0;       // duplicate in-flight requests merged into one row
+  uint64_t forward_passes = 0;  // model forward invocations (one per leaf bucket chunk)
+  uint64_t batched_rows = 0;    // unique rows summed over all forward passes
+
+  double wall_seconds = 0.0;
+  double qps = 0.0;                  // requests / wall_seconds
+  double cache_hit_rate = 0.0;       // cache_hits / requests
+  double mean_batch_occupancy = 0.0; // batched_rows / forward_passes
+  double p50_latency_ms = 0.0;       // submit-to-completion, sampled
+  double p99_latency_ms = 0.0;
+
+  std::string ToString() const;
+};
+
+class ServerStats {
+ public:
+  // `max_latency_samples` bounds the latency buffer; once full, further
+  // latencies are counted but not sampled (the percentiles stay a snapshot of
+  // the first N requests, which is enough for the benchmark sweeps).
+  explicit ServerStats(size_t max_latency_samples = 1 << 20);
+
+  void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  // `n` requests answered from the cache (a queued duplicate group that a
+  // concurrent worker's insert resolved counts one hit per request, matching
+  // the Submit-path accounting).
+  void RecordCacheHits(uint64_t n = 1) { cache_hits_.fetch_add(n, std::memory_order_relaxed); }
+  void RecordCoalesced(uint64_t n) { coalesced_.fetch_add(n, std::memory_order_relaxed); }
+  void RecordForwardPasses(uint64_t passes, uint64_t rows) {
+    forward_passes_.fetch_add(passes, std::memory_order_relaxed);
+    batched_rows_.fetch_add(rows, std::memory_order_relaxed);
+  }
+  void RecordLatencyMs(double ms);
+
+  ServerStatsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> forward_passes_{0};
+  std::atomic<uint64_t> batched_rows_{0};
+
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ms_;
+  size_t max_latency_samples_;
+
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_SERVE_SERVER_STATS_H_

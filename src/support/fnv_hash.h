@@ -1,0 +1,50 @@
+// FNV-1a (64-bit) mixing helpers shared by the stable content hashes that
+// form the serving cache key: CompactAst::Hash() and DeviceSpec::
+// Fingerprint(). Values are mixed as fixed-width little-endian words / raw
+// bit patterns, so hashes are stable across runs and processes on all
+// supported platforms.
+#ifndef SRC_SUPPORT_FNV_HASH_H_
+#define SRC_SUPPORT_FNV_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace cdmpp {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t FnvMixBytes(uint64_t h, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Mixes a 64-bit value byte by byte, low byte first (endianness-stable).
+inline uint64_t FnvMix(uint64_t h, uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (word >> (8 * byte)) & 0xffull;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Hashes the bit pattern, not the value: +0.0f/-0.0f differ, NaNs are stable.
+inline uint64_t FnvMixFloat(uint64_t h, float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return FnvMix(h, bits);
+}
+
+inline uint64_t FnvMixDouble(uint64_t h, double d) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return FnvMix(h, bits);
+}
+
+}  // namespace cdmpp
+
+#endif  // SRC_SUPPORT_FNV_HASH_H_

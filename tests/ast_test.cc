@@ -99,6 +99,48 @@ TEST(CompactAstTest, VectorizeFlagReflectsSchedule) {
   }
 }
 
+TEST(CompactAstHashTest, EqualAstsHashEqual) {
+  Task t = MakeConv();
+  ScheduleDesc sched;
+  sched.primitives.push_back({PrimitiveKind::kVectorize, -1, 0});
+  CompactAst a = ExtractCompactAst(GenerateProgram(t, sched));
+  CompactAst b = ExtractCompactAst(GenerateProgram(t, sched));
+  EXPECT_EQ(a.Hash(), b.Hash());
+  // Hashing is a pure function: repeated calls agree.
+  EXPECT_EQ(a.Hash(), a.Hash());
+}
+
+TEST(CompactAstHashTest, DistinctContentsHashDistinct) {
+  Task t = MakeConv();
+  Rng rng(17);
+  std::vector<CompactAst> asts;
+  for (int i = 0; i < 16; ++i) {
+    asts.push_back(ExtractCompactAst(GenerateProgram(t, SampleSchedule(t, &rng))));
+  }
+  auto same_content = [](const CompactAst& a, const CompactAst& b) {
+    return a.num_nodes == b.num_nodes && a.num_leaves == b.num_leaves &&
+           a.max_depth == b.max_depth && a.ordering == b.ordering && a.leaves == b.leaves;
+  };
+  int distinct_pairs = 0;
+  for (size_t i = 0; i < asts.size(); ++i) {
+    for (size_t j = i + 1; j < asts.size(); ++j) {
+      if (!same_content(asts[i], asts[j])) {
+        ++distinct_pairs;
+        EXPECT_NE(asts[i].Hash(), asts[j].Hash());
+      }
+    }
+  }
+  EXPECT_GT(distinct_pairs, 0);  // sampling actually produced variety
+}
+
+TEST(CompactAstHashTest, SensitiveToSingleLeafBit) {
+  Task t = MakeConv();
+  CompactAst ast = ExtractCompactAst(GenerateProgram(t, ScheduleDesc{}));
+  uint64_t before = ast.Hash();
+  ast.leaves[0][0] += 1.0f;
+  EXPECT_NE(ast.Hash(), before);
+}
+
 TEST(PositionalEncodingTest, ValuesBounded) {
   for (int pos = 0; pos < 100; ++pos) {
     ComputationVector pe = PositionalEncoding(pos, 10000.0);

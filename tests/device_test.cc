@@ -1,3 +1,5 @@
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "src/device/device.h"
@@ -56,6 +58,27 @@ TEST(DeviceTest, FeatureVectorShapeAndClassOneHot) {
     ASSERT_EQ(f.size(), static_cast<size_t>(kDeviceFeatDim));
     EXPECT_FLOAT_EQ(f[9] + f[10] + f[11], 1.0f);
   }
+}
+
+TEST(DeviceTest, FingerprintsDistinctAcrossRegistry) {
+  std::set<uint64_t> fingerprints;
+  for (const DeviceSpec& spec : DeviceRegistry()) {
+    fingerprints.insert(spec.Fingerprint());
+  }
+  EXPECT_EQ(fingerprints.size(), DeviceRegistry().size());
+}
+
+TEST(DeviceTest, FingerprintStableAndSpecSensitive) {
+  const DeviceSpec& t4 = DeviceByName("T4");
+  EXPECT_EQ(t4.Fingerprint(), DeviceByName("T4").Fingerprint());
+
+  DeviceSpec tweaked = t4;
+  tweaked.mem_bw_gbps += 1.0;
+  EXPECT_NE(tweaked.Fingerprint(), t4.Fingerprint());
+
+  DeviceSpec renamed = t4;
+  renamed.name = "T4-b";
+  EXPECT_NE(renamed.Fingerprint(), t4.Fingerprint());
 }
 
 TEST(SimulatorTest, LatencyPositiveForAllDevices) {

@@ -236,6 +236,29 @@ TEST(ScalerTest, StandardizesColumns) {
   EXPECT_NEAR(y.At(0, 2), 0.0, 1e-4);
 }
 
+TEST(ScalerTest, LargeMagnitudeColumnsDoNotCancelCatastrophically) {
+  // Regression test for the naive sum_sq/n - mu*mu variance, which loses all
+  // significant bits (and can go negative) when |mu| >> stddev. Welford's
+  // update keeps the small true variance.
+  const float base = 2.0e7f;  // float-representable, spacing 2.0 at this magnitude
+  Matrix x(4, 1);
+  x.At(0, 0) = base - 4.0f;
+  x.At(1, 0) = base - 2.0f;
+  x.At(2, 0) = base + 2.0f;
+  x.At(3, 0) = base + 4.0f;
+  StandardScaler scaler;
+  scaler.Fit(x);
+  Matrix y = x;
+  scaler.Apply(&y);
+  // True population stddev is sqrt(10); standardized values are finite and
+  // match +-{4,2}/sqrt(10).
+  const float expected = 4.0f / std::sqrt(10.0f);
+  ASSERT_TRUE(std::isfinite(y.At(0, 0)));
+  EXPECT_NEAR(y.At(0, 0), -expected, 5e-3);
+  EXPECT_NEAR(y.At(3, 0), expected, 5e-3);
+  EXPECT_NEAR(y.At(1, 0), -expected / 2.0f, 5e-3);
+}
+
 TEST(TsneTest, ProducesFiniteSeparatedEmbedding) {
   Rng rng(74);
   Matrix hi(60, 8);

@@ -1,0 +1,348 @@
+// Serving-subsystem tests: sharded LRU cache semantics, concurrency safety,
+// bitwise equivalence of batched serving with single-threaded prediction, and
+// the throughput advantage of cross-request batching.
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/serve/prediction_service.h"
+#include "src/tir/schedule.h"
+
+namespace cdmpp {
+namespace {
+
+// ---- Cache unit tests ------------------------------------------------------
+
+CacheKey Key(uint64_t a, uint64_t d) { return CacheKey{a, d}; }
+
+TEST(PredictionCacheTest, HitMissAndValueRoundTrip) {
+  PredictionCache cache(8, 1);
+  double out = 0.0;
+  EXPECT_FALSE(cache.Lookup(Key(1, 1), &out));
+  cache.Insert(Key(1, 1), 0.25);
+  ASSERT_TRUE(cache.Lookup(Key(1, 1), &out));
+  EXPECT_EQ(out, 0.25);
+  // Same AST on a different device is a different entry.
+  EXPECT_FALSE(cache.Lookup(Key(1, 2), &out));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PredictionCacheTest, LruEvictsLeastRecentlyUsed) {
+  PredictionCache cache(4, 1);
+  for (uint64_t i = 1; i <= 4; ++i) {
+    cache.Insert(Key(i, 0), static_cast<double>(i));
+  }
+  double out = 0.0;
+  // Touch key 1 so key 2 becomes the eviction victim.
+  ASSERT_TRUE(cache.Lookup(Key(1, 0), &out));
+  cache.Insert(Key(5, 0), 5.0);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Lookup(Key(1, 0), &out));
+  EXPECT_FALSE(cache.Lookup(Key(2, 0), &out));
+  EXPECT_TRUE(cache.Lookup(Key(3, 0), &out));
+  EXPECT_TRUE(cache.Lookup(Key(5, 0), &out));
+}
+
+TEST(PredictionCacheTest, InsertRefreshesExistingEntry) {
+  PredictionCache cache(2, 1);
+  cache.Insert(Key(1, 0), 1.0);
+  cache.Insert(Key(2, 0), 2.0);
+  cache.Insert(Key(1, 0), 10.0);  // refresh, not a new entry
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Insert(Key(3, 0), 3.0);  // evicts key 2 (LRU after the refresh)
+  double out = 0.0;
+  ASSERT_TRUE(cache.Lookup(Key(1, 0), &out));
+  EXPECT_EQ(out, 10.0);
+  EXPECT_FALSE(cache.Lookup(Key(2, 0), &out));
+}
+
+TEST(PredictionCacheTest, ConcurrentAccessIsConsistent) {
+  PredictionCache cache(256, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  std::atomic<int> value_mismatches{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &value_mismatches, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        uint64_t k = static_cast<uint64_t>((t * 37 + i) % 512);
+        if (i % 3 == 0) {
+          cache.Insert(Key(k, 0), static_cast<double>(k));
+        } else {
+          double out = -1.0;
+          if (cache.Lookup(Key(k, 0), &out) && out != static_cast<double>(k)) {
+            value_mismatches.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(value_mismatches.load(), 0);
+  EXPECT_LE(cache.size(), 256u);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+// ---- Service tests against a trained predictor -----------------------------
+
+// One tiny trained world shared by all service tests (training dominates the
+// suite's runtime, so it runs once).
+struct ServeWorld {
+  Dataset ds;
+  std::unique_ptr<CdmppPredictor> predictor;
+  std::vector<CompactAst> workload;  // distinct free-standing ASTs
+};
+
+ServeWorld& World() {
+  static ServeWorld* world = [] {
+    auto* w = new ServeWorld();
+    DatasetOptions opts;
+    opts.device_ids = {0};
+    opts.schedules_per_task = 2;
+    opts.max_networks = 6;
+    opts.seed = 11;
+    w->ds = BuildDataset(opts);
+
+    PredictorConfig cfg;
+    cfg.d_model = 16;
+    cfg.num_heads = 2;
+    cfg.d_ff = 32;
+    cfg.num_layers = 1;
+    cfg.z_dim = 16;
+    cfg.device_embed_dim = 8;
+    cfg.device_hidden_dim = 16;
+    cfg.decoder_hidden = {16};
+    cfg.epochs = 2;
+    cfg.seed = 3;
+    w->predictor = std::make_unique<CdmppPredictor>(cfg);
+    Rng rng(4);
+    SplitIndices split = SplitDataset(w->ds, {0}, {}, &rng);
+    w->predictor->Pretrain(w->ds, split.train, split.valid);
+
+    // Fresh schedules the model never trained on, spread over many tasks so
+    // several leaf-count buckets occur.
+    Rng srng(9);
+    for (const TaskInfo& info : w->ds.tasks) {
+      for (int k = 0; k < 3; ++k) {
+        w->workload.push_back(
+            ExtractCompactAst(GenerateProgram(info.task, SampleSchedule(info.task, &srng))));
+      }
+    }
+    // Materialize every head now so later const serving paths never mutate.
+    for (const CompactAst& ast : w->workload) {
+      w->predictor->EnsureHead(ast.num_leaves);
+    }
+    return w;
+  }();
+  return *world;
+}
+
+TEST(PredictBatchedTest, MatchesPredictAstBitwise) {
+  ServeWorld& w = World();
+  AstBatchView view;
+  for (const CompactAst& ast : w.workload) {
+    view.asts.push_back(&ast);
+    view.device_ids.push_back(0);
+  }
+  std::vector<double> batched = w.predictor->PredictBatched(view);
+  ASSERT_EQ(batched.size(), w.workload.size());
+  for (size_t i = 0; i < w.workload.size(); ++i) {
+    double single = w.predictor->PredictAst(w.workload[i], 0);
+    EXPECT_EQ(batched[i], single) << "request " << i;  // bitwise-identical
+  }
+}
+
+TEST(ServeTest, ConcurrentSubmitMatchesSingleThreadedPredictor) {
+  ServeWorld& w = World();
+  std::vector<double> expected;
+  expected.reserve(w.workload.size());
+  for (const CompactAst& ast : w.workload) {
+    expected.push_back(w.predictor->PredictAst(ast, 0));
+  }
+
+  ServeOptions opts;
+  opts.num_workers = 4;
+  opts.max_batch_size = 32;
+  opts.batch_window_ms = 0.5;
+  opts.enable_cache = false;  // force every request through a forward pass
+  PredictionService service(w.predictor.get(), opts);
+
+  constexpr int kClientThreads = 4;
+  std::vector<std::vector<std::future<double>>> futures(kClientThreads);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&w, &service, &futures, c] {
+      for (size_t i = static_cast<size_t>(c); i < w.workload.size(); i += kClientThreads) {
+        futures[static_cast<size_t>(c)].push_back(service.Submit(w.workload[i], 0));
+      }
+    });
+  }
+  for (std::thread& th : clients) {
+    th.join();
+  }
+  for (int c = 0; c < kClientThreads; ++c) {
+    size_t slot = 0;
+    for (size_t i = static_cast<size_t>(c); i < w.workload.size(); i += kClientThreads) {
+      EXPECT_EQ(futures[static_cast<size_t>(c)][slot++].get(), expected[i])
+          << "request " << i;  // bitwise-identical to the single-threaded result
+    }
+  }
+  ServerStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests, w.workload.size());
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_GT(stats.forward_passes, 0u);
+}
+
+TEST(ServeTest, CacheHitSkipsForwardPass) {
+  ServeWorld& w = World();
+  ServeOptions opts;
+  opts.num_workers = 1;
+  opts.batch_window_ms = 0.0;
+  opts.enable_cache = true;
+  PredictionService service(w.predictor.get(), opts);
+
+  const CompactAst& ast = w.workload.front();
+  double first = service.Predict(ast, 0);
+  ServerStatsSnapshot after_first = service.Stats();
+  ASSERT_GE(after_first.forward_passes, 1u);
+  EXPECT_EQ(after_first.cache_hits, 0u);
+
+  double second = service.Predict(ast, 0);
+  ServerStatsSnapshot after_second = service.Stats();
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(after_second.cache_hits, 1u);
+  // The hit was answered without touching the model.
+  EXPECT_EQ(after_second.forward_passes, after_first.forward_passes);
+  EXPECT_EQ(service.cache().hits(), 1u);
+
+  // A different device misses: the device fingerprint is part of the key.
+  service.Predict(ast, 3);
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+}
+
+TEST(ServeTest, DuplicateInFlightRequestsCoalesce) {
+  ServeWorld& w = World();
+  ServeOptions opts;
+  opts.num_workers = 1;
+  opts.max_batch_size = 64;
+  opts.batch_window_ms = 50.0;  // generous window so all duplicates queue up
+  opts.enable_cache = false;
+  PredictionService service(w.predictor.get(), opts);
+
+  constexpr int kDuplicates = 16;
+  std::vector<std::future<double>> futures;
+  for (int i = 0; i < kDuplicates; ++i) {
+    futures.push_back(service.Submit(w.workload.front(), 0));
+  }
+  std::vector<double> results;
+  for (auto& f : futures) {
+    results.push_back(f.get());
+  }
+  for (double r : results) {
+    EXPECT_EQ(r, results.front());
+  }
+  ServerStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kDuplicates));
+  // At least one merge happened (timing decides exactly how many duplicates
+  // land in one drain, but a 50ms window makes near-total coalescing typical).
+  EXPECT_GT(stats.coalesced, 0u);
+  EXPECT_LT(stats.batched_rows, static_cast<uint64_t>(kDuplicates));
+}
+
+TEST(ServeTest, BatchingDeliversHigherQpsThanBatchSizeOne) {
+  ServeWorld& w = World();
+  // Same workload, replayed against a batching service and a batch-size-1
+  // service. Repeats give the batched path coalescing-free volume (distinct
+  // keys only: each AST appears once per pass, cache disabled).
+  std::vector<const CompactAst*> requests;
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const CompactAst& ast : w.workload) {
+      requests.push_back(&ast);
+    }
+  }
+
+  auto run_once = [&w, &requests](int max_batch, double window_ms) {
+    ServeOptions opts;
+    opts.num_workers = 2;
+    opts.max_batch_size = max_batch;
+    opts.batch_window_ms = window_ms;
+    opts.enable_cache = false;
+    PredictionService service(w.predictor.get(), opts);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::future<double>> futures;
+    futures.reserve(requests.size());
+    for (const CompactAst* ast : requests) {
+      futures.push_back(service.Submit(*ast, 0));
+    }
+    for (auto& f : futures) {
+      f.get();
+    }
+    double seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    ServerStatsSnapshot stats = service.Stats();
+    return std::make_pair(static_cast<double>(requests.size()) / seconds, stats);
+  };
+
+  // Best-of-N per mode: a throughput-capability comparison, insulated from
+  // one-sided scheduler noise on loaded CI machines.
+  constexpr int kRuns = 3;
+  double qps_single = 0.0;
+  double qps_batched = 0.0;
+  ServerStatsSnapshot stats_single;
+  ServerStatsSnapshot stats_batched;
+  for (int r = 0; r < kRuns; ++r) {
+    auto [qps_s, st_s] = run_once(/*max_batch=*/1, /*window_ms=*/0.0);
+    if (qps_s > qps_single) {
+      qps_single = qps_s;
+      stats_single = st_s;
+    }
+    auto [qps_b, st_b] = run_once(/*max_batch=*/64, /*window_ms=*/0.2);
+    if (qps_b > qps_batched) {
+      qps_batched = qps_b;
+      stats_batched = st_b;
+    }
+  }
+
+  EXPECT_GT(stats_batched.mean_batch_occupancy, 1.5);
+  EXPECT_NEAR(stats_single.mean_batch_occupancy, 1.0, 1e-9);
+  // The acceptance bar: batching must beat one-forward-per-request.
+  EXPECT_GT(qps_batched, qps_single);
+}
+
+TEST(PredictBatchedTest, BatchedForwardFasterThanPerRequestForward) {
+  // The worker-side view of the same claim, free of queueing and scheduling
+  // noise: one batched forward over the workload vs one forward per request.
+  ServeWorld& w = World();
+  AstBatchView view;
+  for (const CompactAst& ast : w.workload) {
+    view.asts.push_back(&ast);
+    view.device_ids.push_back(0);
+  }
+  w.predictor->PredictBatched(view);  // warm-up
+  constexpr int kReps = 5;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    w.predictor->PredictBatched(view);
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    for (const CompactAst& ast : w.workload) {
+      w.predictor->PredictAst(ast, 0);
+    }
+  }
+  auto t2 = std::chrono::steady_clock::now();
+  double batched = std::chrono::duration<double>(t1 - t0).count();
+  double single = std::chrono::duration<double>(t2 - t1).count();
+  EXPECT_LT(batched, single);
+}
+
+}  // namespace
+}  // namespace cdmpp
