@@ -1,0 +1,210 @@
+// GEMM microbenchmark over the shapes the CDMPP predictor actually runs:
+// d_model 64, d_ff 128, feature dim 38, batch 1–256 (times a representative
+// leaf count of 8 rows per sample). Reports GFLOP/s for
+//   * the seed repo's naive single-threaded ikj MatMul loop (baseline),
+//   * the blocked + ParallelFor kernel layer (src/nn/kernels.h),
+// and emits machine-readable BENCH_gemm.json so the bench trajectory can be
+// tracked across PRs.
+//
+//   ./build/bench/bench_gemm [--smoke]
+//
+// --smoke shrinks the sweep and rep counts for CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/nn/kernels.h"
+#include "src/support/parallel_for.h"
+#include "src/support/rng.h"
+#include "src/support/table.h"
+
+using namespace cdmpp;
+
+namespace {
+
+// The seed implementation of MatMul (pre-kernel-layer), kept verbatim as the
+// benchmark baseline: single-threaded ikj with a zero-skip branch.
+void SeedNaiveMatMul(int m, int n, int k, const float* a, const float* b, float* c) {
+  for (int i = 0; i < m; ++i) {
+    float* out_row = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      out_row[j] = 0.0f;
+    }
+    const float* a_row = a + static_cast<size_t>(i) * k;
+    for (int p = 0; p < k; ++p) {
+      const float av = a_row[p];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* b_row = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) {
+        out_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+std::vector<float> RandomBuffer(size_t size, Rng* rng) {
+  std::vector<float> v(size);
+  for (float& x : v) {
+    x = static_cast<float>(rng->Normal(0.0, 1.0));
+  }
+  return v;
+}
+
+// Best-of-`trials` GFLOP/s for `fn`, each trial running enough reps to cover
+// ~`target_ms` of work so tiny shapes are not pure clock noise.
+template <typename Fn>
+double MeasureGflops(double flops_per_call, double target_ms, int trials, Fn&& fn) {
+  // Calibrate rep count from one call.
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  double once = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  int reps = std::max(1, static_cast<int>(target_ms / 1e3 / std::max(once, 1e-9)));
+  reps = std::min(reps, 1 << 16);
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int t = 0; t < trials; ++t) {
+    auto s = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) {
+      fn();
+    }
+    double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - s).count();
+    best = std::min(best, secs / reps);
+  }
+  return flops_per_call / best / 1e9;
+}
+
+struct ShapeResult {
+  int batch, m, k, n;
+  double gflops_naive = 0.0;
+  double gflops_kernel = 0.0;
+  double speedup = 0.0;
+};
+
+// Best-effort host CPU model (Linux); GFLOP/s numbers are only comparable
+// across runs on the same microarchitecture, so record it in the artifact.
+std::string CpuModel() {
+  if (FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+      if (std::strncmp(line, "model name", 10) == 0) {
+        std::fclose(f);
+        const char* colon = std::strchr(line, ':');
+        std::string model = colon != nullptr ? colon + 2 : line;
+        while (!model.empty() && (model.back() == '\n' || model.back() == '"')) {
+          model.pop_back();
+        }
+        return model;
+      }
+    }
+    std::fclose(f);
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  const double target_ms = smoke ? 5.0 : 40.0;
+  const int trials = smoke ? 2 : 3;
+  const std::vector<int> batches = smoke ? std::vector<int>{1, 64} : std::vector<int>{1, 16, 64, 256};
+  constexpr int kLeaves = 8;  // representative compact-AST leaf count
+
+  // (k, n) pairs of the predictor's forward GEMMs:
+  // input proj 38->64, attention proj 64->64, FFN 64->128 and 128->64.
+  const std::vector<std::pair<int, int>> kn = {{38, 64}, {64, 64}, {64, 128}, {128, 64}};
+
+  std::printf("GEMM data-plane bench: %d threads (CDMPP_NUM_THREADS to override)%s\n\n",
+              ThreadPool::Global().num_threads(), smoke ? " [smoke]" : "");
+
+  Rng rng(13);
+  std::vector<ShapeResult> results;
+  TablePrinter table({"batch", "m", "k", "n", "naive GFLOP/s", "kernel GFLOP/s", "speedup"});
+  for (int batch : batches) {
+    for (const auto& [k, n] : kn) {
+      const int m = batch * kLeaves;
+      ShapeResult r;
+      r.batch = batch;
+      r.m = m;
+      r.k = k;
+      r.n = n;
+      const double flops = 2.0 * m * n * k;
+      auto a = RandomBuffer(static_cast<size_t>(m) * k, &rng);
+      auto b = RandomBuffer(static_cast<size_t>(k) * n, &rng);
+      std::vector<float> c(static_cast<size_t>(m) * n, 0.0f);
+
+      r.gflops_naive = MeasureGflops(flops, target_ms, trials,
+                                     [&] { SeedNaiveMatMul(m, n, k, a.data(), b.data(), c.data()); });
+      r.gflops_kernel = MeasureGflops(flops, target_ms, trials, [&] {
+        kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+      });
+      r.speedup = r.gflops_kernel / r.gflops_naive;
+      results.push_back(r);
+      table.AddRow({std::to_string(batch), std::to_string(m), std::to_string(k),
+                    std::to_string(n), FormatDouble(r.gflops_naive, 2),
+                    FormatDouble(r.gflops_kernel, 2), FormatDouble(r.speedup, 2) + "x"});
+    }
+  }
+  table.Print(stdout);
+
+  // Aggregate headline: geometric-mean speedup at the largest batch.
+  double gmean = 1.0;
+  int count = 0;
+  for (const ShapeResult& r : results) {
+    if (r.batch == batches.back()) {
+      gmean *= r.speedup;
+      ++count;
+    }
+  }
+  if (count > 0) {
+    gmean = std::pow(gmean, 1.0 / count);
+    std::printf("\nGeomean kernel speedup over seed naive MatMul at batch %d: %.2fx\n",
+                batches.back(), gmean);
+  }
+
+  // Machine-readable trajectory record.
+  const char* json_path = "BENCH_gemm.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"gemm\",\n  \"threads\": %d,\n  \"smoke\": %s,\n"
+                 "  \"cpu_model\": \"%s\",\n",
+                 ThreadPool::Global().num_threads(), smoke ? "true" : "false",
+                 CpuModel().c_str());
+    std::fprintf(f, "  \"shapes\": [\n");
+    for (size_t i = 0; i < results.size(); ++i) {
+      const ShapeResult& r = results[i];
+      std::fprintf(f,
+                   "    {\"batch\": %d, \"m\": %d, \"k\": %d, \"n\": %d, "
+                   "\"gflops_naive\": %.4f, \"gflops_kernel\": %.4f, \"speedup\": %.4f}%s\n",
+                   r.batch, r.m, r.k, r.n, r.gflops_naive, r.gflops_kernel, r.speedup,
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"geomean_speedup_largest_batch\": %.4f\n}\n", gmean);
+    std::fclose(f);
+    std::printf("Wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path);
+  }
+
+  // Regression gate for CI: the kernel layer falling behind the naive seed
+  // loop is a dramatic regression that should fail the job even on noisy
+  // shared runners.
+  if (count > 0 && gmean < 1.0) {
+    std::fprintf(stderr, "FAIL: kernel geomean speedup %.2fx < 1.0x over naive baseline\n",
+                 gmean);
+    return 1;
+  }
+  return 0;
+}

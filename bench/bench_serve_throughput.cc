@@ -4,9 +4,11 @@
 //
 // Reports QPS, mean batch occupancy, cache hit rate, and p50/p99 request
 // latency per configuration, plus the headline batched-vs-unbatched
-// comparison. Build & run:  ./build/bench/bench_serve_throughput
+// comparison. Build & run:  ./build/bench/bench_serve_throughput [--smoke]
+// (--smoke shrinks the workload and sweep for CI.)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <vector>
 
@@ -74,17 +76,24 @@ RunResult RunLoad(CdmppPredictor* predictor, const Workload& w, const ServeOptio
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
   // ---- Model under service: quick pre-train on a T4 slice. ----
   DatasetOptions dopts;
   dopts.device_ids = {0};
   dopts.schedules_per_task = 3;
-  dopts.max_networks = 10;
+  dopts.max_networks = smoke ? 5 : 10;
   dopts.seed = 21;
   Dataset ds = BuildDataset(dopts);
 
   PredictorConfig cfg;
-  cfg.epochs = 6;
+  cfg.epochs = smoke ? 2 : 6;
   cfg.seed = 22;
   CdmppPredictor predictor(cfg);
   Rng rng(23);
@@ -93,7 +102,8 @@ int main() {
               split.train.size(), cfg.epochs);
   predictor.Pretrain(ds, split.train, split.valid);
 
-  Workload w = BuildWorkload(ds, /*unique_schedules=*/96, /*total_requests=*/3000, /*seed=*/24);
+  Workload w = BuildWorkload(ds, /*unique_schedules=*/smoke ? 24 : 96,
+                             /*total_requests=*/smoke ? 400 : 3000, /*seed=*/24);
   for (const CompactAst& ast : w.asts) {
     predictor.EnsureHead(ast.num_leaves);
   }
@@ -103,8 +113,11 @@ int main() {
   // ---- Sweep: workers x batch window, cache on. ----
   TablePrinter sweep({"workers", "window (ms)", "max batch", "QPS", "occupancy", "hit rate",
                       "p50 (ms)", "p99 (ms)"});
-  for (int workers : {1, 2, 4}) {
-    for (double window_ms : {0.0, 0.2, 1.0}) {
+  const std::vector<int> worker_sweep = smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4};
+  const std::vector<double> window_sweep =
+      smoke ? std::vector<double>{0.2} : std::vector<double>{0.0, 0.2, 1.0};
+  for (int workers : worker_sweep) {
+    for (double window_ms : window_sweep) {
       ServeOptions opts;
       opts.num_workers = workers;
       opts.batch_window_ms = window_ms;
@@ -136,14 +149,16 @@ int main() {
   RunResult r_batched = RunLoad(&predictor, w, batched, 0);
 
   std::printf("\nBatching headline (cache disabled, 2 workers):\n");
-  TablePrinter headline({"mode", "QPS", "occupancy", "fwd passes", "p99 (ms)"});
+  TablePrinter headline({"mode", "QPS", "occupancy", "fwd passes", "p50 (ms)", "p99 (ms)"});
   headline.AddRow({"batch size 1", FormatDouble(r_single.qps, 0),
                    FormatDouble(r_single.stats.mean_batch_occupancy, 1),
                    std::to_string(r_single.stats.forward_passes),
+                   FormatDouble(r_single.stats.p50_latency_ms, 3),
                    FormatDouble(r_single.stats.p99_latency_ms, 3)});
   headline.AddRow({"batched (<=64)", FormatDouble(r_batched.qps, 0),
                    FormatDouble(r_batched.stats.mean_batch_occupancy, 1),
                    std::to_string(r_batched.stats.forward_passes),
+                   FormatDouble(r_batched.stats.p50_latency_ms, 3),
                    FormatDouble(r_batched.stats.p99_latency_ms, 3)});
   headline.Print(stdout);
   std::printf("\nBatched serving: %.2fx the QPS of one-forward-per-request.\n",

@@ -23,11 +23,11 @@ double ClampTransformed(double t) {
 }
 
 // Reshapes [B*L, D] <-> [B, L*D] (row-major, so this is a pure view change).
-Matrix PackRows(const Matrix& x, int batch, int seq_len) {
+void PackRowsInto(const Matrix& x, int batch, int seq_len, Matrix* out) {
   CDMPP_CHECK(x.rows() == batch * seq_len);
-  Matrix out(batch, seq_len * x.cols());
+  CDMPP_CHECK(out->rows() == batch && out->cols() == seq_len * x.cols());
   for (int b = 0; b < batch; ++b) {
-    float* dst = out.Row(b);
+    float* dst = out->Row(b);
     for (int t = 0; t < seq_len; ++t) {
       const float* src = x.Row(b * seq_len + t);
       for (int j = 0; j < x.cols(); ++j) {
@@ -35,6 +35,11 @@ Matrix PackRows(const Matrix& x, int batch, int seq_len) {
       }
     }
   }
+}
+
+Matrix PackRows(const Matrix& x, int batch, int seq_len) {
+  Matrix out(batch, seq_len * x.cols());
+  PackRowsInto(x, batch, seq_len, &out);
   return out;
 }
 
@@ -436,46 +441,75 @@ void CdmppPredictor::EnsureHead(int leaf_count) {
 
 std::vector<double> CdmppPredictor::PredictBatched(const AstBatchView& view,
                                                    uint64_t* num_forward_passes) const {
+  // Thread-local so repeated callers (PredictAst, tests, the replayer) get
+  // the warm-arena fast path without owning a Workspace themselves.
+  static thread_local Workspace ws;
+  std::vector<double> out(view.size(), 0.0);
+  PredictBatched(view, &ws, out.data(), num_forward_passes);
+  return out;
+}
+
+void CdmppPredictor::PredictBatched(const AstBatchView& view, Workspace* ws, double* out,
+                                    uint64_t* num_forward_passes) const {
   CDMPP_CHECK(fitted_);
   CDMPP_CHECK(view.asts.size() == view.device_ids.size());
-  std::vector<double> out(view.size(), 0.0);
-  auto buckets = GroupByLeafCount(view);
-  std::vector<Batch> batches = MakeBatches(buckets, config_.batch_size, /*rng=*/nullptr);
-  if (num_forward_passes != nullptr) {
-    *num_forward_passes = batches.size();
+  if (view.size() == 0) {
+    // Nothing to predict; `out` may legitimately be null here (an empty
+    // vector's data()).
+    if (num_forward_passes != nullptr) {
+      *num_forward_passes = 0;
+    }
+    return;
   }
-  for (const Batch& batch : batches) {
+  CDMPP_CHECK(ws != nullptr && out != nullptr);
+  // The plan recycles its buffers per thread, so steady-state bucketing of a
+  // request stream costs no allocations (unlike the map-of-vectors grouping
+  // the training path uses).
+  static thread_local BatchPlan plan;
+  plan.Build(view, config_.batch_size);
+  if (num_forward_passes != nullptr) {
+    *num_forward_passes = static_cast<uint64_t>(plan.num_batches());
+  }
+  const StandardScaler* scaler = scaler_.fitted() ? &scaler_ : nullptr;
+  for (int bi = 0; bi < plan.num_batches(); ++bi) {
+    const Batch& batch = plan.batch(bi);
     const int b = static_cast<int>(batch.sample_indices.size());
     const int l = batch.seq_len;
     auto head_it = leaf_heads_.find(l);
     CDMPP_CHECK_MSG(head_it != leaf_heads_.end(),
                     "no head for this leaf count; call EnsureHead first");
 
-    Matrix x = BuildFeatureMatrix(view, batch, scaler_.fitted() ? &scaler_ : nullptr,
-                                  config_.use_pe, config_.pe_theta);
-    Matrix h = encoder_->ForwardInference(input_proj_->ForwardInference(x), l);
-    Matrix zx = head_it->second->ForwardInference(PackRows(h, b, l));
-    Matrix zv = device_mlp_->ForwardInference(BuildDeviceFeatureMatrix(view, batch));
+    ws->Reset();
+    Matrix* x = ws->NewMatrix(b * l, kFeatDim);
+    BuildFeatureMatrixInto(view, batch, scaler, config_.use_pe, config_.pe_theta, x);
+    Matrix* proj = input_proj_->ForwardInference(*x, ws);
+    Matrix* h = encoder_->ForwardInference(*proj, l, ws);
+    Matrix* packed = ws->NewMatrix(b, l * config_.d_model);
+    PackRowsInto(*h, b, l, packed);
+    Matrix* zx = head_it->second->ForwardInference(*packed, ws);
 
-    Matrix z(b, config_.z_dim + config_.device_embed_dim);
+    Matrix* dev = ws->NewMatrix(b, kDeviceFeatDim);
+    BuildDeviceFeatureMatrixInto(view, batch, dev);
+    Matrix* zv = device_mlp_->ForwardInference(*dev, ws);
+
+    Matrix* z = ws->NewMatrix(b, config_.z_dim + config_.device_embed_dim);
     for (int i = 0; i < b; ++i) {
-      float* row = z.Row(i);
+      float* row = z->Row(i);
       for (int j = 0; j < config_.z_dim; ++j) {
-        row[j] = zx.At(i, j);
+        row[j] = zx->At(i, j);
       }
       for (int j = 0; j < config_.device_embed_dim; ++j) {
-        row[config_.z_dim + j] = zv.At(i, j);
+        row[config_.z_dim + j] = zv->At(i, j);
       }
     }
-    Matrix preds = decoder_->ForwardInference(z);
+    Matrix* preds = decoder_->ForwardInference(*z, ws);
     for (int i = 0; i < b; ++i) {
       double pred_ms = label_transform_->Inverse(
-          ClampTransformed(static_cast<double>(preds.At(i, 0))));
+          ClampTransformed(static_cast<double>(preds->At(i, 0))));
       out[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])] =
           pred_ms / kSecondsToMs;
     }
   }
-  return out;
 }
 
 double CdmppPredictor::PredictProgram(const Dataset& ds, int program_index, int device_id) {

@@ -21,6 +21,7 @@
 #include "src/nn/loss.h"
 #include "src/nn/optimizer.h"
 #include "src/nn/transformer.h"
+#include "src/nn/workspace.h"
 
 namespace cdmpp {
 
@@ -128,6 +129,15 @@ class CdmppPredictor {
   // report it rather than re-deriving the chunking.
   std::vector<double> PredictBatched(const AstBatchView& view,
                                      uint64_t* num_forward_passes = nullptr) const;
+
+  // Arena-based variant — the serving hot path. All forward-pass tensors come
+  // from `ws` (one arena per calling thread; the PredictionService workers
+  // each own one) and the `view.size()` predictions are written to `out`, so
+  // a warmed-up call performs zero heap allocations end to end (asserted by
+  // tests/dataplane_test.cc). Same thread-safety contract and bitwise-equal
+  // results as the vector overload, which delegates here.
+  void PredictBatched(const AstBatchView& view, Workspace* ws, double* out,
+                      uint64_t* num_forward_passes = nullptr) const;
 
   // True once Pretrain has fitted the feature scaler and label transform.
   bool fitted() const { return fitted_; }

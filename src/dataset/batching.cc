@@ -1,5 +1,7 @@
 #include "src/dataset/batching.h"
 
+#include <algorithm>
+
 #include "src/support/check.h"
 
 namespace cdmpp {
@@ -115,9 +117,18 @@ std::map<int, std::vector<int>> GroupByLeafCount(const AstBatchView& view) {
 
 Matrix BuildFeatureMatrix(const AstBatchView& view, const Batch& batch,
                           const StandardScaler* scaler, bool use_pe, double theta) {
+  Matrix x(static_cast<int>(batch.sample_indices.size()) * batch.seq_len, kFeatDim);
+  BuildFeatureMatrixInto(view, batch, scaler, use_pe, theta, &x);
+  return x;
+}
+
+void BuildFeatureMatrixInto(const AstBatchView& view, const Batch& batch,
+                            const StandardScaler* scaler, bool use_pe, double theta,
+                            Matrix* x_out) {
   const int b = static_cast<int>(batch.sample_indices.size());
   const int l = batch.seq_len;
-  Matrix x(b * l, kFeatDim);
+  Matrix& x = *x_out;
+  CDMPP_CHECK(x.rows() == b * l && x.cols() == kFeatDim);
   for (int i = 0; i < b; ++i) {
     const CompactAst& ast =
         *view.asts[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])];
@@ -139,21 +150,61 @@ Matrix BuildFeatureMatrix(const AstBatchView& view, const Batch& batch,
       }
     }
   }
-  return x;
 }
 
 Matrix BuildDeviceFeatureMatrix(const AstBatchView& view, const Batch& batch) {
+  Matrix out(static_cast<int>(batch.sample_indices.size()), kDeviceFeatDim);
+  BuildDeviceFeatureMatrixInto(view, batch, &out);
+  return out;
+}
+
+void BuildDeviceFeatureMatrixInto(const AstBatchView& view, const Batch& batch, Matrix* out) {
   const int b = static_cast<int>(batch.sample_indices.size());
-  Matrix out(b, kDeviceFeatDim);
+  CDMPP_CHECK(out->rows() == b && out->cols() == kDeviceFeatDim);
   for (int i = 0; i < b; ++i) {
     const int device_id =
         view.device_ids[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])];
-    std::vector<float> feats = ExtractDeviceFeatures(DeviceById(device_id));
-    for (int j = 0; j < kDeviceFeatDim; ++j) {
-      out.At(i, j) = feats[static_cast<size_t>(j)];
-    }
+    ExtractDeviceFeaturesInto(DeviceById(device_id), out->Row(i));
   }
-  return out;
+}
+
+void BatchPlan::Build(const AstBatchView& view, int batch_size) {
+  CDMPP_CHECK(batch_size > 0);
+  CDMPP_CHECK(view.asts.size() == view.device_ids.size());
+  order_.clear();  // clear() keeps capacity: no allocation once warm
+  for (size_t i = 0; i < view.asts.size(); ++i) {
+    CDMPP_CHECK(view.asts[i] != nullptr);
+    order_.push_back(static_cast<int>(i));
+  }
+  // (leaf count, position) ordering reproduces GroupByLeafCount + MakeBatches
+  // with a null rng: buckets ascend by leaf count, view order within each.
+  // std::sort is in-place; the position tie-break makes it a stable sort.
+  std::sort(order_.begin(), order_.end(), [&view](int lhs, int rhs) {
+    const int ll = view.asts[static_cast<size_t>(lhs)]->num_leaves;
+    const int rl = view.asts[static_cast<size_t>(rhs)]->num_leaves;
+    return ll != rl ? ll < rl : lhs < rhs;
+  });
+
+  num_batches_ = 0;
+  size_t start = 0;
+  while (start < order_.size()) {
+    const int leaves = view.asts[static_cast<size_t>(order_[start])]->num_leaves;
+    size_t end = start;
+    while (end < order_.size() && end - start < static_cast<size_t>(batch_size) &&
+           view.asts[static_cast<size_t>(order_[end])]->num_leaves == leaves) {
+      ++end;
+    }
+    if (static_cast<size_t>(num_batches_) == batches_.size()) {
+      batches_.emplace_back();
+    }
+    Batch& b = batches_[static_cast<size_t>(num_batches_)];
+    b.seq_len = leaves;
+    b.sample_indices.clear();  // keeps capacity
+    b.sample_indices.insert(b.sample_indices.end(), order_.begin() + static_cast<long>(start),
+                            order_.begin() + static_cast<long>(end));
+    ++num_batches_;
+    start = end;
+  }
 }
 
 std::vector<double> GatherLabels(const Dataset& ds, const std::vector<int>& sample_indices) {

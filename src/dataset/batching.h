@@ -66,6 +66,31 @@ Matrix BuildFeatureMatrix(const AstBatchView& view, const Batch& batch,
 // Device feature matrix for a batch of view positions.
 Matrix BuildDeviceFeatureMatrix(const AstBatchView& view, const Batch& batch);
 
+// Allocation-free variants for the serving hot path: fill a caller-provided
+// matrix (e.g. from a Workspace arena) already sized to the expected shape.
+void BuildFeatureMatrixInto(const AstBatchView& view, const Batch& batch,
+                            const StandardScaler* scaler, bool use_pe, double theta,
+                            Matrix* x);
+void BuildDeviceFeatureMatrixInto(const AstBatchView& view, const Batch& batch, Matrix* out);
+
+// Reusable replacement for GroupByLeafCount + MakeBatches on the serving hot
+// path: produces the identical deterministic batch sequence (buckets in
+// ascending leaf count, view order preserved within a bucket, chunked to
+// batch_size) but recycles its vectors, so Build() allocates nothing once the
+// plan has warmed up on the largest request shape. One plan per thread.
+class BatchPlan {
+ public:
+  void Build(const AstBatchView& view, int batch_size);
+
+  int num_batches() const { return num_batches_; }
+  const Batch& batch(int i) const { return batches_[static_cast<size_t>(i)]; }
+
+ private:
+  std::vector<int> order_;     // view positions sorted by (leaf count, position)
+  std::vector<Batch> batches_; // slots persist; only [0, num_batches_) are live
+  int num_batches_ = 0;
+};
+
 // Gathers raw latency labels (seconds) of the given samples.
 std::vector<double> GatherLabels(const Dataset& ds, const std::vector<int>& sample_indices);
 

@@ -105,21 +105,25 @@ std::vector<int> CpuDeviceIds() { return {6, 7, 8}; }
 int AcceleratorDeviceId() { return 5; }
 
 std::vector<float> ExtractDeviceFeatures(const DeviceSpec& spec) {
-  auto lg = [](double x) { return static_cast<float>(std::log1p(x)); };
   std::vector<float> v(kDeviceFeatDim, 0.0f);
-  v[0] = lg(spec.clock_mhz) / 10.0f;
-  v[1] = lg(spec.mem_gb) / 10.0f;
-  v[2] = lg(spec.mem_bw_gbps) / 10.0f;
-  v[3] = lg(spec.cores) / 10.0f;
-  v[4] = lg(spec.peak_gflops) / 10.0f;
-  v[5] = lg(spec.l1_kb) / 10.0f;
-  v[6] = lg(spec.l2_mb) / 10.0f;
-  v[7] = lg(spec.vector_width) / 10.0f;
-  v[8] = lg(spec.launch_overhead_us) / 10.0f;
-  v[9] = spec.cls == DeviceClass::kGpu ? 1.0f : 0.0f;
-  v[10] = spec.cls == DeviceClass::kCpu ? 1.0f : 0.0f;
-  v[11] = spec.cls == DeviceClass::kAccelerator ? 1.0f : 0.0f;
+  ExtractDeviceFeaturesInto(spec, v.data());
   return v;
+}
+
+void ExtractDeviceFeaturesInto(const DeviceSpec& spec, float* out) {
+  auto lg = [](double x) { return static_cast<float>(std::log1p(x)); };
+  out[0] = lg(spec.clock_mhz) / 10.0f;
+  out[1] = lg(spec.mem_gb) / 10.0f;
+  out[2] = lg(spec.mem_bw_gbps) / 10.0f;
+  out[3] = lg(spec.cores) / 10.0f;
+  out[4] = lg(spec.peak_gflops) / 10.0f;
+  out[5] = lg(spec.l1_kb) / 10.0f;
+  out[6] = lg(spec.l2_mb) / 10.0f;
+  out[7] = lg(spec.vector_width) / 10.0f;
+  out[8] = lg(spec.launch_overhead_us) / 10.0f;
+  out[9] = spec.cls == DeviceClass::kGpu ? 1.0f : 0.0f;
+  out[10] = spec.cls == DeviceClass::kCpu ? 1.0f : 0.0f;
+  out[11] = spec.cls == DeviceClass::kAccelerator ? 1.0f : 0.0f;
 }
 
 }  // namespace cdmpp

@@ -64,6 +64,10 @@ constexpr int kDeviceFeatDim = 12;
 // specification values plus a one-hot device class.
 std::vector<float> ExtractDeviceFeatures(const DeviceSpec& spec);
 
+// Allocation-free variant for the serving hot path: writes the same
+// kDeviceFeatDim features into `out` (caller-provided, at least that long).
+void ExtractDeviceFeaturesInto(const DeviceSpec& spec, float* out);
+
 }  // namespace cdmpp
 
 #endif  // SRC_DEVICE_DEVICE_H_

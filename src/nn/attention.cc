@@ -74,30 +74,45 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, int seq_len) {
 }
 
 Matrix MultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len) const {
+  // True wrapper over the arena path: one attention-inference implementation
+  // to keep bitwise-consistent (see src/nn/layers.h).
+  Workspace ws;
+  return *ForwardInference(x, seq_len, &ws);
+}
+
+Matrix* MultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len,
+                                                 Workspace* ws) const {
   CDMPP_CHECK(seq_len > 0);
   CDMPP_CHECK(x.rows() % seq_len == 0);
   CDMPP_CHECK(x.cols() == d_model_);
   const int batch = x.rows() / seq_len;
 
-  Matrix q_all = wq_->ForwardInference(x);
-  Matrix k_all = wk_->ForwardInference(x);
-  Matrix v_all = wv_->ForwardInference(x);
+  Matrix* q_all = wq_->ForwardInference(x, ws);
+  Matrix* k_all = wk_->ForwardInference(x, ws);
+  Matrix* v_all = wv_->ForwardInference(x, ws);
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
-  Matrix context(x.rows(), d_model_);
+  // Every (sample, head) writes its own disjoint [seq_len, d_head] block of
+  // `context`, so no zero-fill or accumulation is needed.
+  Matrix* context = ws->NewMatrix(x.rows(), d_model_);
+  Matrix* scores = ws->NewMatrix(seq_len, seq_len);
   for (int b = 0; b < batch; ++b) {
     for (int h = 0; h < num_heads_; ++h) {
-      Matrix q = ExtractBlock(q_all, b, h, seq_len, d_head_);
-      Matrix k = ExtractBlock(k_all, b, h, seq_len, d_head_);
-      Matrix v = ExtractBlock(v_all, b, h, seq_len, d_head_);
-      Matrix scores = MatMulTransB(q, k);
-      scores.Scale(scale);
-      SoftmaxRows(&scores);
-      Matrix out = MatMul(scores, v);
-      AccumulateBlock(&context, out, b, h, seq_len, d_head_);
+      const float* q = q_all->Row(b * seq_len) + h * d_head_;
+      const float* k = k_all->Row(b * seq_len) + h * d_head_;
+      const float* v = v_all->Row(b * seq_len) + h * d_head_;
+      float* ctx = context->Row(b * seq_len) + h * d_head_;
+      // scores = Q·Kᵀ directly on the packed layout (lda/ldb = d_model).
+      kernels::GemmNT(seq_len, seq_len, d_head_, q, d_model_, k, d_model_, /*beta=*/0.0f,
+                      scores->data(), seq_len);
+      scores->Scale(scale);
+      SoftmaxRows(scores);
+      // context block = softmax(scores)·V, written in place.
+      kernels::GemmNN(seq_len, d_head_, seq_len, scores->data(), seq_len, v, d_model_,
+                      /*beta=*/0.0f, ctx, d_model_);
     }
   }
-  return wo_->ForwardInference(context);
+  return wo_->ForwardInference(*context, ws);
 }
 
 Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {

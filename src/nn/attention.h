@@ -23,6 +23,10 @@ class MultiHeadSelfAttention : public Module {
   // Cache-free const forward (see src/nn/layers.h); attention weights are
   // computed into locals and discarded.
   Matrix ForwardInference(const Matrix& x, int seq_len) const;
+  // Hot path: per-head Q/K/V blocks are addressed in place inside the packed
+  // [batch*seq_len, d_model] activations via the kernels' leading-dimension
+  // parameters — zero block extraction copies, all scratch from `ws`.
+  Matrix* ForwardInference(const Matrix& x, int seq_len, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 

@@ -1,0 +1,295 @@
+#include "src/nn/kernels.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/support/parallel_for.h"
+
+namespace cdmpp {
+namespace kernels {
+namespace {
+
+// Register tile: rows of A processed together so each loaded B row is reused
+// kMr times from registers/L1 instead of re-streamed per output row.
+constexpr int kMr = 4;
+// C/B column block: the accumulator tile (kMr x kNc floats) and the active
+// B panel stay resident in L1 while p runs over the full reduction.
+constexpr int kNc = 128;
+// Products below this many flops run serially: the fork/join handshake costs
+// more than the loop. 2*m*n*k for the d_model=64 predictor shapes crosses
+// this around batch 16.
+constexpr double kParallelMinFlops = 256.0 * 1024.0;
+
+// Row-panel chunk size for ParallelFor: ~4 chunks per thread for load
+// balance, aligned to the register tile.
+int64_t RowGrain(int m) {
+  const int threads = ThreadPool::Global().num_threads();
+  int64_t grain = (static_cast<int64_t>(m) + threads * 4 - 1) / (threads * 4);
+  grain = ((grain + kMr - 1) / kMr) * kMr;
+  return std::max<int64_t>(grain, kMr);
+}
+
+// Writes one finished accumulator row back to C, applying the optional fused
+// bias + activation epilogue.
+inline void StoreRow(float* crow, const float* acc, int nc, const float* bias,
+                     Activation act) {
+  if (bias != nullptr) {
+    for (int j = 0; j < nc; ++j) {
+      crow[j] = ApplyActivation(acc[j] + bias[j], act);
+    }
+  } else if (act != Activation::kNone) {
+    for (int j = 0; j < nc; ++j) {
+      crow[j] = ApplyActivation(acc[j], act);
+    }
+  } else {
+    for (int j = 0; j < nc; ++j) {
+      crow[j] = acc[j];
+    }
+  }
+}
+
+inline void InitAccRow(float* acc, const float* crow, int nc, float beta) {
+  if (beta == 0.0f) {
+    for (int j = 0; j < nc; ++j) {
+      acc[j] = 0.0f;
+    }
+  } else {
+    for (int j = 0; j < nc; ++j) {
+      acc[j] = beta * crow[j];
+    }
+  }
+}
+
+// Rows [i0, i1) of C = beta*C + A·B (+ fused bias/act). Both the kMr-row tile
+// and the remainder-row path accumulate each C element over p ascending, so
+// per-element results are independent of panel/tile boundaries.
+void GemmNNPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                 const float* b, int ldb, float beta, const float* bias, Activation act,
+                 float* c, int ldc) {
+  float acc[kMr][kNc];
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    const float* bias_panel = bias != nullptr ? bias + jc : nullptr;
+    int64_t i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+      for (int r = 0; r < kMr; ++r) {
+        InitAccRow(acc[r], c + (i + r) * ldc + jc, nc, beta);
+      }
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<int64_t>(p) * ldb + jc;
+        const float a0 = a[(i + 0) * lda + p];
+        const float a1 = a[(i + 1) * lda + p];
+        const float a2 = a[(i + 2) * lda + p];
+        const float a3 = a[(i + 3) * lda + p];
+        for (int j = 0; j < nc; ++j) {
+          const float bv = brow[j];
+          acc[0][j] += a0 * bv;
+          acc[1][j] += a1 * bv;
+          acc[2][j] += a2 * bv;
+          acc[3][j] += a3 * bv;
+        }
+      }
+      for (int r = 0; r < kMr; ++r) {
+        StoreRow(c + (i + r) * ldc + jc, acc[r], nc, bias_panel, act);
+      }
+    }
+    for (; i < i1; ++i) {
+      InitAccRow(acc[0], c + i * ldc + jc, nc, beta);
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<int64_t>(p) * ldb + jc;
+        const float a0 = a[i * lda + p];
+        for (int j = 0; j < nc; ++j) {
+          acc[0][j] += a0 * brow[j];
+        }
+      }
+      StoreRow(c + i * ldc + jc, acc[0], nc, bias_panel, act);
+    }
+  }
+}
+
+// Rows [i0, i1) of C = beta*C + Aᵀ·B where A is stored [k, m]: column i of
+// the logical Aᵀ row-panel is the contiguous run a[p*lda + i .. i+kMr), so
+// the tile loads stay unit-stride even though the operand is transposed.
+void GemmTNPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                 const float* b, int ldb, float beta, float* c, int ldc) {
+  float acc[kMr][kNc];
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    int64_t i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+      for (int r = 0; r < kMr; ++r) {
+        InitAccRow(acc[r], c + (i + r) * ldc + jc, nc, beta);
+      }
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<int64_t>(p) * ldb + jc;
+        const float* acol = a + static_cast<int64_t>(p) * lda + i;
+        const float a0 = acol[0];
+        const float a1 = acol[1];
+        const float a2 = acol[2];
+        const float a3 = acol[3];
+        for (int j = 0; j < nc; ++j) {
+          const float bv = brow[j];
+          acc[0][j] += a0 * bv;
+          acc[1][j] += a1 * bv;
+          acc[2][j] += a2 * bv;
+          acc[3][j] += a3 * bv;
+        }
+      }
+      for (int r = 0; r < kMr; ++r) {
+        StoreRow(c + (i + r) * ldc + jc, acc[r], nc, nullptr, Activation::kNone);
+      }
+    }
+    for (; i < i1; ++i) {
+      InitAccRow(acc[0], c + i * ldc + jc, nc, beta);
+      for (int p = 0; p < k; ++p) {
+        const float* brow = b + static_cast<int64_t>(p) * ldb + jc;
+        const float a0 = a[static_cast<int64_t>(p) * lda + i];
+        for (int j = 0; j < nc; ++j) {
+          acc[0][j] += a0 * brow[j];
+        }
+      }
+      StoreRow(c + i * ldc + jc, acc[0], nc, nullptr, Activation::kNone);
+    }
+  }
+}
+
+// Rows [i0, i1) of C = beta*C + A·Bᵀ. Both operands stream along p with unit
+// stride; j is tiled by 4 so one pass over A's row feeds four independent
+// dot-product chains (ILP) while B rows j..j+3 stay hot in L1. Each dot uses
+// a single accumulator over p ascending in both the tile and remainder
+// paths — same determinism contract as the other kernels.
+void GemmNTPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                 const float* b, int ldb, float beta, float* c, int ldc) {
+  constexpr int kNr = 4;
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    int j = 0;
+    for (; j + kNr <= n; j += kNr) {
+      const float* b0 = b + static_cast<int64_t>(j + 0) * ldb;
+      const float* b1 = b + static_cast<int64_t>(j + 1) * ldb;
+      const float* b2 = b + static_cast<int64_t>(j + 2) * ldb;
+      const float* b3 = b + static_cast<int64_t>(j + 3) * ldb;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        const float av = arow[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      crow[j + 0] = (beta == 0.0f ? 0.0f : beta * crow[j + 0]) + s0;
+      crow[j + 1] = (beta == 0.0f ? 0.0f : beta * crow[j + 1]) + s1;
+      crow[j + 2] = (beta == 0.0f ? 0.0f : beta * crow[j + 2]) + s2;
+      crow[j + 3] = (beta == 0.0f ? 0.0f : beta * crow[j + 3]) + s3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + static_cast<int64_t>(j) * ldb;
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        s += arow[p] * brow[p];
+      }
+      crow[j] = (beta == 0.0f ? 0.0f : beta * crow[j]) + s;
+    }
+  }
+}
+
+bool WorthForking(int m, int n, int k) {
+  return 2.0 * m * n * std::max(k, 1) >= kParallelMinFlops;
+}
+
+void GemmNNImpl(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+                float beta, const float* bias, Activation act, float* c, int ldc) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (!WorthForking(m, n, k)) {
+    GemmNNPanel(0, m, n, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m), [&](int64_t r0, int64_t r1) {
+    GemmNNPanel(r0, r1, n, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+  });
+}
+
+}  // namespace
+
+void GemmNNRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+               float beta, float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float s = beta == 0.0f ? 0.0f : beta * c[static_cast<int64_t>(i) * ldc + j];
+      for (int p = 0; p < k; ++p) {
+        s += a[static_cast<int64_t>(i) * lda + p] * b[static_cast<int64_t>(p) * ldb + j];
+      }
+      c[static_cast<int64_t>(i) * ldc + j] = s;
+    }
+  }
+}
+
+void GemmTNRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+               float beta, float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float s = beta == 0.0f ? 0.0f : beta * c[static_cast<int64_t>(i) * ldc + j];
+      for (int p = 0; p < k; ++p) {
+        s += a[static_cast<int64_t>(p) * lda + i] * b[static_cast<int64_t>(p) * ldb + j];
+      }
+      c[static_cast<int64_t>(i) * ldc + j] = s;
+    }
+  }
+}
+
+void GemmNTRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+               float beta, float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float s = beta == 0.0f ? 0.0f : beta * c[static_cast<int64_t>(i) * ldc + j];
+      for (int p = 0; p < k; ++p) {
+        s += a[static_cast<int64_t>(i) * lda + p] * b[static_cast<int64_t>(j) * ldb + p];
+      }
+      c[static_cast<int64_t>(i) * ldc + j] = s;
+    }
+  }
+}
+
+void GemmNN(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float beta,
+            float* c, int ldc) {
+  GemmNNImpl(m, n, k, a, lda, b, ldb, beta, nullptr, Activation::kNone, c, ldc);
+}
+
+void GemmTN(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float beta,
+            float* c, int ldc) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (!WorthForking(m, n, k)) {
+    GemmTNPanel(0, m, n, k, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m), [&](int64_t r0, int64_t r1) {
+    GemmTNPanel(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
+  });
+}
+
+void GemmNT(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float beta,
+            float* c, int ldc) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+  if (!WorthForking(m, n, k)) {
+    GemmNTPanel(0, m, n, k, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m), [&](int64_t r0, int64_t r1) {
+    GemmNTPanel(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
+  });
+}
+
+void GemmBiasAct(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+                 const float* bias, Activation act, float* c, int ldc) {
+  GemmNNImpl(m, n, k, a, lda, b, ldb, /*beta=*/0.0f, bias, act, c, ldc);
+}
+
+}  // namespace kernels
+}  // namespace cdmpp

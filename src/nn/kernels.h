@@ -1,0 +1,65 @@
+// The single GEMM kernel layer every matrix product in the library lowers to.
+//
+// All kernels operate on row-major float buffers with explicit leading
+// dimensions (lda/ldb/ldc = elements between consecutive rows), so they work
+// on whole matrices and on sub-panels alike. Three transpose variants cover
+// everything the NN stack needs:
+//
+//   GemmNN:  C = beta*C + A  · B     A: [m,k] lda, B: [k,n] ldb, C: [m,n] ldc
+//   GemmTN:  C = beta*C + Aᵀ · B     A: [k,m] lda, B: [k,n] ldb, C: [m,n] ldc
+//   GemmNT:  C = beta*C + A  · Bᵀ    A: [m,k] lda, B: [n,k] ldb, C: [m,n] ldc
+//
+// The `beta` accumulate parameter fuses "grad += MatMul(...)" patterns
+// (beta = 1) and plain products (beta = 0, C is not read) without
+// temporaries. GemmBiasAct additionally fuses the Linear-layer epilogue
+// act(A·B + bias) into the kernel's register tile.
+//
+// Implementation contract (relied on by src/serve/ and tests):
+//   * Optimized kernels are cache-blocked over C column panels, register-
+//     tiled over 4-row A panels, and parallelized over row panels via
+//     ParallelFor once the product is large enough to pay for the fork.
+//   * Every C element is accumulated over p = 0..k-1 in ascending order,
+//     independent of the row-panel partition, the register tile a row lands
+//     in, and the batch size — so results are bitwise run-to-run
+//     deterministic and batch-size-invariant (PredictBatched == PredictAst).
+//   * The *Ref kernels are the naive triple loops; they are the golden
+//     reference the blocked kernels are tested against and the baseline
+//     bench_gemm reports speedups over.
+#ifndef SRC_NN_KERNELS_H_
+#define SRC_NN_KERNELS_H_
+
+namespace cdmpp {
+namespace kernels {
+
+enum class Activation { kNone, kRelu };
+
+inline float ApplyActivation(float v, Activation act) {
+  return act == Activation::kRelu ? (v > 0.0f ? v : 0.0f) : v;
+}
+
+// ---- Naive reference kernels (golden baseline). ----------------------------
+void GemmNNRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+               float beta, float* c, int ldc);
+void GemmTNRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+               float beta, float* c, int ldc);
+void GemmNTRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+               float beta, float* c, int ldc);
+
+// ---- Optimized blocked + parallel kernels. ----------------------------------
+void GemmNN(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float beta,
+            float* c, int ldc);
+void GemmTN(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float beta,
+            float* c, int ldc);
+void GemmNT(int m, int n, int k, const float* a, int lda, const float* b, int ldb, float beta,
+            float* c, int ldc);
+
+// C = act(A·B + bias). `bias` is a length-n row broadcast over every output
+// row (may be null for "no bias"). This is the Linear-layer forward fused
+// into one pass over C; beta is implicitly 0.
+void GemmBiasAct(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+                 const float* bias, Activation act, float* c, int ldc);
+
+}  // namespace kernels
+}  // namespace cdmpp
+
+#endif  // SRC_NN_KERNELS_H_

@@ -1,6 +1,9 @@
 #include "src/nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "src/support/parallel_for.h"
 
 namespace cdmpp {
 
@@ -11,24 +14,38 @@ Linear::Linear(int in_dim, int out_dim, Rng* rng) {
   b_.InitZero(1, out_dim);
 }
 
-Matrix Linear::Forward(const Matrix& x) {
+void Linear::ApplyLinear(const Matrix& x, kernels::Activation act, Matrix* y) const {
   CDMPP_CHECK(x.cols() == w_.value.rows());
+  kernels::GemmBiasAct(x.rows(), y->cols(), x.cols(), x.data(), x.cols(), w_.value.data(),
+                       w_.value.cols(), b_.value.data(), act, y->data(), y->cols());
+}
+
+Matrix Linear::Forward(const Matrix& x) {
   cached_x_ = x;
-  Matrix y = MatMul(x, w_.value);
-  AddRowBroadcast(&y, b_.value);
+  Matrix y(x.rows(), w_.value.cols());
+  ApplyLinear(x, kernels::Activation::kNone, &y);
   return y;
 }
 
 Matrix Linear::ForwardInference(const Matrix& x) const {
-  CDMPP_CHECK(x.cols() == w_.value.rows());
-  Matrix y = MatMul(x, w_.value);
-  AddRowBroadcast(&y, b_.value);
+  Matrix y(x.rows(), w_.value.cols());
+  ApplyLinear(x, kernels::Activation::kNone, &y);
+  return y;
+}
+
+Matrix* Linear::ForwardInference(const Matrix& x, Workspace* ws,
+                                 kernels::Activation act) const {
+  Matrix* y = ws->NewMatrix(x.rows(), w_.value.cols());
+  ApplyLinear(x, act, y);
   return y;
 }
 
 Matrix Linear::Backward(const Matrix& dy) {
   CDMPP_CHECK(dy.rows() == cached_x_.rows() && dy.cols() == w_.value.cols());
-  w_.grad.AddInPlace(MatMulTransA(cached_x_, dy));
+  // w_.grad += xᵀ·dy as a single beta=1 accumulate — no gradient temporary.
+  kernels::GemmTN(w_.grad.rows(), w_.grad.cols(), dy.rows(), cached_x_.data(),
+                  cached_x_.cols(), dy.data(), dy.cols(), /*beta=*/1.0f, w_.grad.data(),
+                  w_.grad.cols());
   b_.grad.AddInPlace(ColumnSum(dy));
   return MatMulTransB(dy, w_.value);
 }
@@ -52,6 +69,17 @@ Matrix Relu::ForwardInference(const Matrix& x) const {
     for (int j = 0; j < y.cols(); ++j) {
       row[j] = std::max(0.0f, row[j]);
     }
+  }
+  return y;
+}
+
+Matrix* Relu::ForwardInference(const Matrix& x, Workspace* ws) const {
+  Matrix* y = ws->NewMatrix(x.rows(), x.cols());
+  const float* src = x.data();
+  float* dst = y->data();
+  const size_t total = x.size();
+  for (size_t i = 0; i < total; ++i) {
+    dst[i] = std::max(0.0f, src[i]);
   }
   return y;
 }
@@ -111,28 +139,55 @@ Matrix LayerNorm::Forward(const Matrix& x) {
   return y;
 }
 
-Matrix LayerNorm::ForwardInference(const Matrix& x) const {
+namespace {
+
+// The single copy of the inference-normalization loop, shared by both
+// ForwardInference overloads so they stay bitwise-consistent. Rows are
+// independent, so batch rows split across cores; tiny inputs stay serial
+// (ParallelFor also runs inline when the range fits one chunk).
+void LayerNormRowsInto(const Matrix& x, const float* gamma, const float* beta, float eps,
+                       Matrix* y) {
   const int n = x.rows();
   const int d = x.cols();
-  Matrix y(n, d);
-  for (int i = 0; i < n; ++i) {
-    const float* row = x.Row(i);
-    float mean = 0.0f;
-    for (int j = 0; j < d; ++j) {
-      mean += row[j];
+  auto normalize_rows = [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = x.Row(static_cast<int>(i));
+      float mean = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        mean += row[j];
+      }
+      mean /= static_cast<float>(d);
+      float var = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        var += (row[j] - mean) * (row[j] - mean);
+      }
+      var /= static_cast<float>(d);
+      const float inv_std = 1.0f / std::sqrt(var + eps);
+      float* yrow = y->Row(static_cast<int>(i));
+      for (int j = 0; j < d; ++j) {
+        yrow[j] = (row[j] - mean) * inv_std * gamma[j] + beta[j];
+      }
     }
-    mean /= static_cast<float>(d);
-    float var = 0.0f;
-    for (int j = 0; j < d; ++j) {
-      var += (row[j] - mean) * (row[j] - mean);
-    }
-    var /= static_cast<float>(d);
-    float inv_std = 1.0f / std::sqrt(var + kEps);
-    float* yrow = y.Row(i);
-    for (int j = 0; j < d; ++j) {
-      yrow[j] = (row[j] - mean) * inv_std * gamma_.value.At(0, j) + beta_.value.At(0, j);
-    }
+  };
+  if (static_cast<int64_t>(n) * d >= (1 << 14)) {
+    const int threads = ThreadPool::Global().num_threads();
+    ParallelFor(0, n, std::max<int64_t>(1, n / (threads * 4)), normalize_rows);
+  } else {
+    normalize_rows(0, n);
   }
+}
+
+}  // namespace
+
+Matrix LayerNorm::ForwardInference(const Matrix& x) const {
+  Matrix y(x.rows(), x.cols());
+  LayerNormRowsInto(x, gamma_.value.Row(0), beta_.value.Row(0), kEps, &y);
+  return y;
+}
+
+Matrix* LayerNorm::ForwardInference(const Matrix& x, Workspace* ws) const {
+  Matrix* y = ws->NewMatrix(x.rows(), x.cols());
+  LayerNormRowsInto(x, gamma_.value.Row(0), beta_.value.Row(0), kEps, y);
   return y;
 }
 
@@ -193,14 +248,20 @@ Matrix Mlp::Forward(const Matrix& x) {
 }
 
 Matrix Mlp::ForwardInference(const Matrix& x) const {
-  Matrix h = x;
+  Workspace ws;
+  return *ForwardInference(x, &ws);
+}
+
+Matrix* Mlp::ForwardInference(const Matrix& x, Workspace* ws) const {
+  const Matrix* h = &x;
+  Matrix* out = nullptr;
   for (size_t i = 0; i < linears_.size(); ++i) {
-    h = linears_[i]->ForwardInference(h);
-    if (i + 1 < linears_.size()) {
-      h = relus_[i].ForwardInference(h);
-    }
+    const bool hidden = i + 1 < linears_.size();
+    out = linears_[i]->ForwardInference(
+        *h, ws, hidden ? kernels::Activation::kRelu : kernels::Activation::kNone);
+    h = out;
   }
-  return h;
+  return out;
 }
 
 Matrix Mlp::Backward(const Matrix& dy) {
@@ -252,7 +313,9 @@ LstmCell::State LstmCell::Forward(const Matrix& x, const State& prev, Cache* cac
   cache->c_prev = prev.c;
 
   Matrix pre = MatMul(x, w_x_.value);
-  pre.AddInPlace(MatMul(prev.h, w_h_.value));
+  // pre += h_prev · w_h as a beta=1 accumulate — no temporary.
+  kernels::GemmNN(n, 4 * hidden_dim_, hidden_dim_, prev.h.data(), prev.h.cols(),
+                  w_h_.value.data(), w_h_.value.cols(), /*beta=*/1.0f, pre.data(), pre.cols());
   AddRowBroadcast(&pre, b_.value);
 
   cache->gates = Matrix(n, 4 * hidden_dim_);
@@ -308,8 +371,11 @@ LstmCell::InputGrads LstmCell::Backward(const Cache& cache, const Matrix& dh,
       dpre.At(r, 3 * hidden_dim_ + j) = do_g * o_g * (1.0f - o_g);
     }
   }
-  w_x_.grad.AddInPlace(MatMulTransA(cache.x, dpre));
-  w_h_.grad.AddInPlace(MatMulTransA(cache.h_prev, dpre));
+  kernels::GemmTN(w_x_.grad.rows(), w_x_.grad.cols(), n, cache.x.data(), cache.x.cols(),
+                  dpre.data(), dpre.cols(), /*beta=*/1.0f, w_x_.grad.data(), w_x_.grad.cols());
+  kernels::GemmTN(w_h_.grad.rows(), w_h_.grad.cols(), n, cache.h_prev.data(),
+                  cache.h_prev.cols(), dpre.data(), dpre.cols(), /*beta=*/1.0f,
+                  w_h_.grad.data(), w_h_.grad.cols());
   b_.grad.AddInPlace(ColumnSum(dpre));
   grads.dx = MatMulTransB(dpre, w_x_.value);
   grads.dh_prev = MatMulTransB(dpre, w_h_.value);

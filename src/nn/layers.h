@@ -9,13 +9,28 @@
 // to Forward. Any number of threads may call ForwardInference concurrently on
 // a shared layer as long as no thread mutates parameters at the same time —
 // this is the serving hot path (src/serve/).
+//
+// ForwardInference comes in two flavors:
+//   * Matrix* ForwardInference(x, Workspace*): the hot path. Output and all
+//     intermediates live in the caller's Workspace arena (valid until its
+//     Reset()), so steady-state passes perform zero heap allocations. Each
+//     thread needs its own Workspace.
+//   * Matrix ForwardInference(x): convenience overload, same values. For the
+//     composite layers (Mlp, attention, transformer) it is a true wrapper
+//     that runs the arena path on a scratch Workspace and copies the result
+//     out — there is exactly ONE inference implementation per layer to keep
+//     bitwise-consistent. The primitive layers (Linear, Relu, LayerNorm)
+//     share their single kernel call / loop between both overloads instead,
+//     avoiding the scratch arena.
 #ifndef SRC_NN_LAYERS_H_
 #define SRC_NN_LAYERS_H_
 
 #include <memory>
 #include <vector>
 
+#include "src/nn/kernels.h"
 #include "src/nn/matrix.h"
+#include "src/nn/workspace.h"
 
 namespace cdmpp {
 
@@ -66,6 +81,11 @@ class Linear : public Module {
 
   Matrix Forward(const Matrix& x);
   Matrix ForwardInference(const Matrix& x) const;
+  // Hot path: y = act(x W + b) in one fused kernel pass (the epilogue runs
+  // while the accumulator tile is still in registers). kNone reproduces the
+  // plain layer; kRelu folds a following Relu away.
+  Matrix* ForwardInference(const Matrix& x, Workspace* ws,
+                           kernels::Activation act = kernels::Activation::kNone) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 
@@ -73,6 +93,10 @@ class Linear : public Module {
   int out_dim() const { return w_.value.cols(); }
 
  private:
+  // The one fused-kernel invocation all three forward entry points share:
+  // y = act(x W + b) written into the caller-sized output.
+  void ApplyLinear(const Matrix& x, kernels::Activation act, Matrix* y) const;
+
   Param w_;
   Param b_;
   Matrix cached_x_;
@@ -83,6 +107,7 @@ class Relu : public Module {
  public:
   Matrix Forward(const Matrix& x);
   Matrix ForwardInference(const Matrix& x) const;
+  Matrix* ForwardInference(const Matrix& x, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>*) override {}
 
@@ -97,6 +122,8 @@ class LayerNorm : public Module {
 
   Matrix Forward(const Matrix& x);
   Matrix ForwardInference(const Matrix& x) const;
+  // Hot path; rows are split across cores via ParallelFor for large batches.
+  Matrix* ForwardInference(const Matrix& x, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 
@@ -116,6 +143,8 @@ class Mlp : public Module {
 
   Matrix Forward(const Matrix& x);
   Matrix ForwardInference(const Matrix& x) const;
+  // Hot path: each hidden Linear+ReLU pair runs as one fused kernel call.
+  Matrix* ForwardInference(const Matrix& x, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 

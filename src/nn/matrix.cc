@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/nn/kernels.h"
+
 namespace cdmpp {
 
 void Matrix::XavierInit(Rng* rng) {
@@ -43,67 +45,32 @@ double Matrix::SquaredNorm() const {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   CDMPP_CHECK(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    float* out_row = out.Row(i);
-    const float* a_row = a.Row(i);
-    for (int p = 0; p < k; ++p) {
-      const float av = a_row[p];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* b_row = b.Row(p);
-      for (int j = 0; j < n; ++j) {
-        out_row[j] += av * b_row[j];
-      }
-    }
-  }
+  kernels::GemmNN(a.rows(), b.cols(), a.cols(), a.data(), a.cols(), b.data(), b.cols(),
+                  /*beta=*/0.0f, out.data(), out.cols());
   return out;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   CDMPP_CHECK(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
-  const int k = a.rows();
-  const int m = a.cols();
-  const int n = b.cols();
-  for (int p = 0; p < k; ++p) {
-    const float* a_row = a.Row(p);
-    const float* b_row = b.Row(p);
-    for (int i = 0; i < m; ++i) {
-      const float av = a_row[i];
-      if (av == 0.0f) {
-        continue;
-      }
-      float* out_row = out.Row(i);
-      for (int j = 0; j < n; ++j) {
-        out_row[j] += av * b_row[j];
-      }
-    }
-  }
+  kernels::GemmTN(a.cols(), b.cols(), a.rows(), a.data(), a.cols(), b.data(), b.cols(),
+                  /*beta=*/0.0f, out.data(), out.cols());
   return out;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   CDMPP_CHECK(a.cols() == b.cols());
+  // The seed implementation's innermost loop strode BOTH operands along p
+  // with nothing cached between j iterations: out[i][j] re-streamed a's row
+  // for every j and touched a fresh b row each time, so b's rows fell out of
+  // L1 long before they were revisited. kernels::GemmNT guarantees the fixed
+  // access pattern this call site now relies on: per row i of a, columns j
+  // are tiled by 4 so one unit-stride pass over a.Row(i) feeds four resident
+  // b rows, and each out element is a single p-ascending dot product —
+  // locality-blocked without changing the accumulation order.
   Matrix out(a.rows(), b.rows());
-  const int m = a.rows();
-  const int k = a.cols();
-  const int n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* a_row = a.Row(i);
-    float* out_row = out.Row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* b_row = b.Row(j);
-      float acc = 0.0f;
-      for (int p = 0; p < k; ++p) {
-        acc += a_row[p] * b_row[p];
-      }
-      out_row[j] = acc;
-    }
-  }
+  kernels::GemmNT(a.rows(), b.rows(), a.cols(), a.data(), a.cols(), b.data(), b.cols(),
+                  /*beta=*/0.0f, out.data(), out.cols());
   return out;
 }
 

@@ -1,6 +1,7 @@
 // Dense row-major float matrix with the operations the NN library needs.
-// Single-threaded, cache-friendly (ikj) matmul kernels; sized for the small
-// models this repo trains (d_model <= a few hundred).
+// The MatMul* entry points are thin wrappers over the cache-blocked,
+// ParallelFor-parallelized kernel layer in src/nn/kernels.h — one kernel
+// layer to optimize instead of per-call-site loops.
 #ifndef SRC_NN_MATRIX_H_
 #define SRC_NN_MATRIX_H_
 
@@ -23,6 +24,22 @@ class Matrix {
   int cols() const { return cols_; }
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
+  // Float capacity retained by the backing storage (>= size()).
+  size_t capacity() const { return data_.capacity(); }
+
+  // Reshapes to [rows, cols] without shrinking capacity: no heap traffic once
+  // the buffer has grown to its steady-state size (the Workspace arena relies
+  // on this). Existing element values are NOT preserved in any meaningful
+  // layout; treat contents as unspecified after a Resize. Growing past the
+  // previous logical size zero-fills the new tail (vector::resize semantics)
+  // — a small one-time cost per slot until the request shapes stabilize, not
+  // a steady-state one.
+  void Resize(int rows, int cols) {
+    CDMPP_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+  }
 
   float& At(int r, int c) { return data_[static_cast<size_t>(r) * cols_ + c]; }
   float At(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }

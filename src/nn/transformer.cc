@@ -19,13 +19,21 @@ Matrix TransformerEncoderLayer::Forward(const Matrix& x, int seq_len) {
 }
 
 Matrix TransformerEncoderLayer::ForwardInference(const Matrix& x, int seq_len) const {
-  Matrix attn_out = attn_.ForwardInference(x, seq_len);
-  attn_out.AddInPlace(x);  // residual
-  Matrix h = norm1_.ForwardInference(attn_out);
+  Workspace ws;
+  return *ForwardInference(x, seq_len, &ws);
+}
 
-  Matrix ff = ff2_->ForwardInference(ff_relu_.ForwardInference(ff1_->ForwardInference(h)));
-  ff.AddInPlace(h);  // residual
-  return norm2_.ForwardInference(ff);
+Matrix* TransformerEncoderLayer::ForwardInference(const Matrix& x, int seq_len,
+                                                  Workspace* ws) const {
+  Matrix* attn_out = attn_.ForwardInference(x, seq_len, ws);
+  attn_out->AddInPlace(x);  // residual
+  Matrix* h = norm1_.ForwardInference(*attn_out, ws);
+
+  // FFN hidden layer: bias + ReLU fused into the GEMM epilogue.
+  Matrix* ff1 = ff1_->ForwardInference(*h, ws, kernels::Activation::kRelu);
+  Matrix* ff = ff2_->ForwardInference(*ff1, ws);
+  ff->AddInPlace(*h);  // residual
+  return norm2_.ForwardInference(*ff, ws);
 }
 
 Matrix TransformerEncoderLayer::Backward(const Matrix& dy) {
@@ -66,9 +74,15 @@ Matrix TransformerEncoder::Forward(const Matrix& x, int seq_len) {
 }
 
 Matrix TransformerEncoder::ForwardInference(const Matrix& x, int seq_len) const {
-  Matrix h = x;
-  for (const auto& layer : layers_) {
-    h = layer->ForwardInference(h, seq_len);
+  Workspace ws;
+  return *ForwardInference(x, seq_len, &ws);
+}
+
+Matrix* TransformerEncoder::ForwardInference(const Matrix& x, int seq_len,
+                                             Workspace* ws) const {
+  Matrix* h = layers_[0]->ForwardInference(x, seq_len, ws);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    h = layers_[i]->ForwardInference(*h, seq_len, ws);
   }
   return h;
 }

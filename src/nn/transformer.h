@@ -17,6 +17,7 @@ class TransformerEncoderLayer : public Module {
 
   Matrix Forward(const Matrix& x, int seq_len);
   Matrix ForwardInference(const Matrix& x, int seq_len) const;
+  Matrix* ForwardInference(const Matrix& x, int seq_len, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 
@@ -38,6 +39,9 @@ class TransformerEncoder : public Module {
   // Cache-free const forward (see src/nn/layers.h): safe for concurrent use
   // on a shared encoder while no thread is training it.
   Matrix ForwardInference(const Matrix& x, int seq_len) const;
+  // Hot path: all intermediates from `ws` (one arena per thread); the fused
+  // Linear+ReLU kernel runs the FFN's hidden layer in one pass.
+  Matrix* ForwardInference(const Matrix& x, int seq_len, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 

@@ -1,0 +1,23 @@
+#include "src/nn/workspace.h"
+
+namespace cdmpp {
+
+Matrix* Workspace::NewMatrix(int rows, int cols) {
+  if (cursor_ == slots_.size()) {
+    slots_.push_back(std::make_unique<Matrix>());
+  }
+  Matrix* m = slots_[cursor_].get();
+  ++cursor_;
+  m->Resize(rows, cols);
+  return m;
+}
+
+size_t Workspace::pooled_floats() const {
+  size_t total = 0;
+  for (const auto& slot : slots_) {
+    total += slot->capacity();
+  }
+  return total;
+}
+
+}  // namespace cdmpp

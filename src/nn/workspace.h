@@ -1,0 +1,54 @@
+// Workspace: a bump arena of reusable Matrix buffers for the inference hot
+// path.
+//
+// Every ForwardInference(..., Workspace*) overload takes its output and all
+// intermediate tensors from the workspace instead of the heap. Usage:
+//
+//   Workspace ws;                       // one per thread (not thread-safe)
+//   ws.Reset();                         // rewind before each forward pass
+//   Matrix* y = layer.ForwardInference(x, &ws);  // valid until next Reset()
+//
+// Reset() rewinds the slot cursor without freeing, so after the first pass
+// per shape ("warm"), NewMatrix is a pointer bump plus a capacity-preserving
+// resize: steady-state forward passes perform zero heap allocations (see
+// tests/dataplane_test.cc, which asserts this with a counting allocator).
+// Matrices keep stable addresses across Reset() because slots are pooled
+// behind unique_ptr.
+#ifndef SRC_NN_WORKSPACE_H_
+#define SRC_NN_WORKSPACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/matrix.h"
+
+namespace cdmpp {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Returns a [rows, cols] matrix owned by the workspace, valid until the
+  // next Reset(). Contents are unspecified (callers that accumulate must
+  // Zero() first); kernels with beta=0 overwrite every element anyway.
+  Matrix* NewMatrix(int rows, int cols);
+
+  // Rewinds the arena. Pooled buffers (and their float capacity) survive, so
+  // the next pass with the same shapes allocates nothing.
+  void Reset() { cursor_ = 0; }
+
+  // Introspection (tests, stats).
+  size_t num_slots() const { return slots_.size(); }
+  size_t live_slots() const { return cursor_; }
+  size_t pooled_floats() const;
+
+ private:
+  std::vector<std::unique_ptr<Matrix>> slots_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_NN_WORKSPACE_H_

@@ -85,6 +85,10 @@ double PredictionService::Predict(const CompactAst& ast, int device_id) {
 }
 
 void PredictionService::WorkerLoop() {
+  // Per-worker arena + output buffer: steady-state forward passes reuse these
+  // across batches instead of touching the heap (src/nn/workspace.h).
+  Workspace ws;
+  std::vector<double> predictions;
   for (;;) {
     std::vector<Request> batch;
     {
@@ -114,11 +118,12 @@ void PredictionService::WorkerLoop() {
         queue_.pop_front();
       }
     }
-    ProcessBatch(std::move(batch));
+    ProcessBatch(std::move(batch), &ws, &predictions);
   }
 }
 
-void PredictionService::ProcessBatch(std::vector<Request> requests) {
+void PredictionService::ProcessBatch(std::vector<Request> requests, Workspace* ws,
+                                     std::vector<double>* predictions) {
   // Coalesce duplicate in-flight keys: one forward row answers all of them.
   std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> groups;
   std::vector<size_t> unique_order;  // first request position per distinct key
@@ -163,17 +168,15 @@ void PredictionService::ProcessBatch(std::vector<Request> requests) {
     view.asts.push_back(&requests[pos].ast);
     view.device_ids.push_back(requests[pos].device_id);
   }
-  auto buckets = GroupByLeafCount(view);
-
   // Rare slow path: create heads for leaf counts training never saw, under
-  // the exclusive lock. EnsureHead re-checks, so racing workers are safe.
+  // the exclusive lock. EnsureHead re-checks, so racing workers are safe
+  // (and duplicate entries here are harmless).
   std::vector<int> missing_heads;
   {
     std::shared_lock<std::shared_mutex> lock(model_mu_);
-    for (const auto& [leaves, positions] : buckets) {
-      (void)positions;
-      if (!predictor_->HasHead(leaves)) {
-        missing_heads.push_back(leaves);
+    for (const CompactAst* ast : view.asts) {
+      if (!predictor_->HasHead(ast->num_leaves)) {
+        missing_heads.push_back(ast->num_leaves);
       }
     }
   }
@@ -184,17 +187,17 @@ void PredictionService::ProcessBatch(std::vector<Request> requests) {
     }
   }
 
-  std::vector<double> predictions;
+  predictions->resize(view.size());  // shrink/grow keeps capacity
   uint64_t passes = 0;
   {
     std::shared_lock<std::shared_mutex> lock(model_mu_);
-    predictions = predictor_->PredictBatched(view, &passes);
+    predictor_->PredictBatched(view, ws, predictions->data(), &passes);
   }
   stats_.RecordForwardPasses(passes, static_cast<uint64_t>(view.size()));
 
   for (size_t u = 0; u < to_compute.size(); ++u) {
     const CacheKey& key = requests[to_compute[u]].key;
-    const double latency_seconds = predictions[u];
+    const double latency_seconds = (*predictions)[u];
     if (options_.enable_cache) {
       cache_.Insert(key, latency_seconds);
     }

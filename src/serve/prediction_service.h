@@ -90,8 +90,14 @@ class PredictionService {
 
   void WorkerLoop();
   // Coalesces duplicates, re-checks the cache, runs the batched forward for
-  // the remaining unique rows, and fulfills every promise.
-  void ProcessBatch(std::vector<Request> requests);
+  // the remaining unique rows, and fulfills every promise. `ws` and
+  // `predictions` are the calling worker's private arena and reusable output
+  // buffer: after warm-up the forward pass itself (PredictBatched) allocates
+  // nothing. Request bookkeeping — queue entries, promises, and this
+  // method's coalescing map/index vectors — still heap-allocates per batch;
+  // pooling those per worker is a ROADMAP follow-on.
+  void ProcessBatch(std::vector<Request> requests, Workspace* ws,
+                    std::vector<double>* predictions);
 
   CdmppPredictor* predictor_;
   ServeOptions options_;

@@ -1,0 +1,184 @@
+#include "src/support/parallel_for.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdmpp {
+
+namespace {
+
+// True while the current thread is executing chunks of some region (either as
+// a pool worker or as the calling thread of an active ParallelFor). Nested
+// ParallelFor calls from such a thread run serially inline.
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // Serializes regions: only one ParallelFor drives the pool at a time.
+  // Contending callers fall back to inline serial execution (see RunImpl).
+  std::mutex region_mu;
+
+  // Protects the region descriptor below plus generation/executors/error.
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers: a new region is available
+  std::condition_variable done_cv;  // caller: all executors left the region
+  uint64_t generation = 0;
+  bool shutdown = false;
+  int executors = 0;  // threads currently draining chunks (incl. the caller)
+
+  // Current region. Plain fields are written under `mu` while executors == 0
+  // and read only by executors, which synchronized through `mu` on entry.
+  void (*fn)(void*, int64_t, int64_t) = nullptr;
+  void* ctx = nullptr;
+  int64_t end = 0;
+  int64_t grain = 1;
+  std::atomic<int64_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  // first failure; guarded by `mu`
+
+  std::vector<std::thread> threads;
+
+  // Claims chunks until the range is exhausted. Once a chunk body throws,
+  // remaining chunks are still claimed (so accounting completes) but their
+  // bodies are skipped.
+  void Drain() {
+    for (;;) {
+      const int64_t i = next.fetch_add(grain, std::memory_order_relaxed);
+      if (i >= end) {
+        return;
+      }
+      const int64_t e = std::min(end, i + grain);
+      if (!failed.load(std::memory_order_relaxed)) {
+        try {
+          fn(ctx, i, e);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(mu);
+          failed.store(true, std::memory_order_relaxed);
+          if (!error) {
+            error = std::current_exception();
+          }
+        }
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    tls_in_parallel_region = true;  // workers only ever run region chunks
+    uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu);
+      work_cv.wait(lock, [&] { return shutdown || generation != seen; });
+      if (shutdown) {
+        return;
+      }
+      seen = generation;
+      ++executors;
+      lock.unlock();
+      Drain();
+      lock.lock();
+      if (--executors == 0) {
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(std::max(1, num_threads)) {
+  impl_ = new Impl();
+  impl_->threads.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    impl_->threads.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->threads) {
+    t.join();
+  }
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads must never outlive their pool, and
+  // static destruction order at process exit cannot guarantee that.
+  static ThreadPool* pool = [] {
+    int n = static_cast<int>(std::thread::hardware_concurrency());
+    if (const char* env = std::getenv("CDMPP_NUM_THREADS")) {
+      char* endp = nullptr;
+      const long v = std::strtol(env, &endp, 10);
+      if (endp != env && v >= 1) {
+        n = static_cast<int>(std::min<long>(v, 1024));
+      }
+    }
+    return new ThreadPool(std::max(1, n));
+  }();
+  return *pool;
+}
+
+void ThreadPool::RunImpl(int64_t begin, int64_t end, int64_t grain,
+                         void (*fn)(void*, int64_t, int64_t), void* ctx) {
+  if (begin >= end) {
+    return;
+  }
+  grain = std::max<int64_t>(1, grain);
+  if (num_threads_ == 1 || end - begin <= grain || tls_in_parallel_region) {
+    fn(ctx, begin, end);
+    return;
+  }
+  // A busy pool means another thread is mid-region; running this range
+  // serially beats convoying behind it (the serve workers already provide
+  // the outer parallelism in that situation).
+  if (!impl_->region_mu.try_lock()) {
+    fn(ctx, begin, end);
+    return;
+  }
+  std::lock_guard<std::mutex> region(impl_->region_mu, std::adopt_lock);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    // A worker that was notified for the *previous* region may only now be
+    // waking up; it will claim zero chunks (the old range is exhausted) and
+    // leave. Wait it out before overwriting the region descriptor.
+    impl_->done_cv.wait(lock, [&] { return impl_->executors == 0; });
+    impl_->fn = fn;
+    impl_->ctx = ctx;
+    impl_->end = end;
+    impl_->grain = grain;
+    impl_->failed.store(false, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    impl_->next.store(begin, std::memory_order_relaxed);
+    ++impl_->generation;
+    ++impl_->executors;  // the caller participates
+  }
+  impl_->work_cv.notify_all();
+
+  tls_in_parallel_region = true;
+  impl_->Drain();
+  tls_in_parallel_region = false;
+
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    --impl_->executors;
+    impl_->done_cv.wait(lock, [&] { return impl_->executors == 0; });
+    err = impl_->error;
+    impl_->error = nullptr;
+  }
+  if (err) {
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace cdmpp

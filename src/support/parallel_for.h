@@ -1,0 +1,74 @@
+// A persistent worker pool with a single primitive: ParallelFor over an
+// integer range. This is the only threading construct the compute data plane
+// (src/nn/kernels.cc and the batch-row loops in the layers) uses, so the
+// whole library shares one pool instead of spawning threads per call.
+//
+// Sizing: the global pool honors the CDMPP_NUM_THREADS environment variable
+// (>= 1); otherwise it uses std::thread::hardware_concurrency(). Tests can
+// construct private pools of any size.
+#ifndef SRC_SUPPORT_PARALLEL_FOR_H_
+#define SRC_SUPPORT_PARALLEL_FOR_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace cdmpp {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers; the calling thread participates in every
+  // region, so num_threads == 1 means "no extra threads, run inline".
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Process-wide pool (created on first use, never destroyed).
+  static ThreadPool& Global();
+
+  int num_threads() const { return num_threads_; }
+
+  // Splits [begin, end) into chunks of at most `grain` iterations and invokes
+  // fn(chunk_begin, chunk_end) across the pool; the calling thread
+  // participates. Blocks until every chunk has completed.
+  //
+  // - Runs serially inline (one fn(begin, end) call) when the range fits a
+  //   single chunk, the pool has one thread, the caller is already inside a
+  //   ParallelFor (nested submits never deadlock, they just run serial), or
+  //   another thread currently drives a region (regions do not queue).
+  // - Exceptions thrown by fn are caught; the first one is rethrown on the
+  //   calling thread after all remaining chunks have been drained (their
+  //   bodies are skipped once a failure is recorded).
+  // - fn must be safe to run concurrently on disjoint chunks. Callers that
+  //   need run-to-run determinism (the GEMM kernels guarantee bitwise
+  //   batch-size-invariant results) must make per-element output independent
+  //   of the chunk partition.
+  template <typename Fn>
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+    using F = typename std::remove_reference<Fn>::type;
+    RunImpl(begin, end, grain,
+            [](void* ctx, int64_t b, int64_t e) { (*static_cast<F*>(ctx))(b, e); },
+            const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+ private:
+  struct Impl;
+
+  void RunImpl(int64_t begin, int64_t end, int64_t grain,
+               void (*fn)(void*, int64_t, int64_t), void* ctx);
+
+  int num_threads_ = 1;
+  Impl* impl_ = nullptr;
+};
+
+// Convenience wrapper over the global pool.
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, std::forward<Fn>(fn));
+}
+
+}  // namespace cdmpp
+
+#endif  // SRC_SUPPORT_PARALLEL_FOR_H_

@@ -1,0 +1,210 @@
+// Golden-equivalence tests for the blocked/parallel GEMM kernels against the
+// naive reference kernels, across ragged shapes (rows/cols not divisible by
+// the register tile or column block), empty matrices, and 1xN / Nx1 edges —
+// plus the batch-size-invariance contract the serving layer relies on.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/kernels.h"
+#include "src/nn/matrix.h"
+#include "src/support/rng.h"
+
+namespace cdmpp {
+namespace {
+
+using kernels::Activation;
+
+struct Shape {
+  int m, n, k;
+};
+
+// Ragged on purpose: not divisible by the 4-row register tile or the 128-col
+// block; includes empty and vector-like extremes and shapes big enough to
+// cross the kernels' parallel-dispatch threshold.
+const Shape kShapes[] = {
+    {0, 0, 0}, {0, 3, 2},  {3, 0, 2},   {3, 4, 0},    {1, 1, 1},    {1, 37, 5},
+    {37, 1, 5}, {1, 1, 64}, {2, 3, 4},   {5, 5, 5},    {7, 13, 9},   {4, 128, 16},
+    {6, 129, 7}, {9, 200, 38}, {33, 64, 22}, {64, 128, 64}, {130, 131, 23}, {257, 65, 19},
+};
+
+std::vector<float> RandomBuffer(size_t n, Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) {
+    x = static_cast<float>(rng->Normal(0.0, 1.0));
+  }
+  return v;
+}
+
+void ExpectClose(const std::vector<float>& got, const std::vector<float>& want,
+                 const char* what, const Shape& s) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    const double denom = std::max(1.0, std::abs(static_cast<double>(want[i])));
+    EXPECT_LE(std::abs(static_cast<double>(got[i]) - want[i]) / denom, 1e-5)
+        << what << " m=" << s.m << " n=" << s.n << " k=" << s.k << " at " << i;
+  }
+}
+
+class GemmGoldenTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(GemmGoldenTest, NNMatchesReference) {
+  const float beta = GetParam();
+  Rng rng(101);
+  for (const Shape& s : kShapes) {
+    auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
+    auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
+    auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+    auto c_ref = c_init;
+    auto c_opt = c_init;
+    kernels::GemmNNRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, beta, c_ref.data(), s.n);
+    kernels::GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, beta, c_opt.data(), s.n);
+    ExpectClose(c_opt, c_ref, "GemmNN", s);
+  }
+}
+
+TEST_P(GemmGoldenTest, TNMatchesReference) {
+  const float beta = GetParam();
+  Rng rng(102);
+  for (const Shape& s : kShapes) {
+    // A stored [k, m] for C = A^T B.
+    auto a = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.m, &rng);
+    auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
+    auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+    auto c_ref = c_init;
+    auto c_opt = c_init;
+    kernels::GemmTNRef(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, beta, c_ref.data(), s.n);
+    kernels::GemmTN(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, beta, c_opt.data(), s.n);
+    ExpectClose(c_opt, c_ref, "GemmTN", s);
+  }
+}
+
+TEST_P(GemmGoldenTest, NTMatchesReference) {
+  const float beta = GetParam();
+  Rng rng(103);
+  for (const Shape& s : kShapes) {
+    // B stored [n, k] for C = A B^T.
+    auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
+    auto b = RandomBuffer(static_cast<size_t>(s.n) * std::max(s.k, 1), &rng);
+    auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+    auto c_ref = c_init;
+    auto c_opt = c_init;
+    kernels::GemmNTRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, beta, c_ref.data(), s.n);
+    kernels::GemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, beta, c_opt.data(), s.n);
+    ExpectClose(c_opt, c_ref, "GemmNT", s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, GemmGoldenTest, ::testing::Values(0.0f, 1.0f, 0.5f));
+
+TEST(GemmBiasActTest, MatchesReferencePlusEpilogue) {
+  Rng rng(104);
+  for (const Shape& s : kShapes) {
+    auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
+    auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
+    auto bias = RandomBuffer(static_cast<size_t>(s.n), &rng);
+    for (Activation act : {Activation::kNone, Activation::kRelu}) {
+      std::vector<float> c_ref(static_cast<size_t>(s.m) * s.n, 0.0f);
+      kernels::GemmNNRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, 0.0f, c_ref.data(), s.n);
+      for (int i = 0; i < s.m; ++i) {
+        for (int j = 0; j < s.n; ++j) {
+          float v = c_ref[static_cast<size_t>(i) * s.n + j] + bias[static_cast<size_t>(j)];
+          if (act == Activation::kRelu) {
+            v = std::max(0.0f, v);
+          }
+          c_ref[static_cast<size_t>(i) * s.n + j] = v;
+        }
+      }
+      std::vector<float> c_opt(static_cast<size_t>(s.m) * s.n, -7.0f);
+      kernels::GemmBiasAct(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, bias.data(), act,
+                           c_opt.data(), s.n);
+      ExpectClose(c_opt, c_ref, act == Activation::kRelu ? "BiasRelu" : "BiasNone", s);
+    }
+  }
+}
+
+TEST(GemmDeterminismTest, RowResultsAreBatchSizeInvariant) {
+  // The serving layer's bitwise PredictBatched == PredictAst contract: a row
+  // computed inside a 64-row product must equal the same row computed alone.
+  Rng rng(105);
+  const int m = 64, n = 96, k = 38;
+  auto a = RandomBuffer(static_cast<size_t>(m) * k, &rng);
+  auto b = RandomBuffer(static_cast<size_t>(k) * n, &rng);
+  std::vector<float> c_full(static_cast<size_t>(m) * n, 0.0f);
+  kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, 0.0f, c_full.data(), n);
+  for (int i = 0; i < m; ++i) {
+    std::vector<float> c_row(static_cast<size_t>(n), 0.0f);
+    kernels::GemmNN(1, n, k, a.data() + static_cast<size_t>(i) * k, k, b.data(), n, 0.0f,
+                    c_row.data(), n);
+    for (int j = 0; j < n; ++j) {
+      // Bitwise, not approximately.
+      EXPECT_EQ(c_full[static_cast<size_t>(i) * n + j], c_row[static_cast<size_t>(j)])
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(GemmStridedTest, LeadingDimensionsAddressSubBlocks) {
+  // The attention path multiplies per-head sub-blocks in place inside packed
+  // [rows, d_model] activations; verify lda/ldb/ldc > logical width works.
+  Rng rng(106);
+  const int big = 32;       // packed width
+  const int l = 5, dh = 8;  // seq_len x d_head block at column offset 16
+  auto q = RandomBuffer(static_cast<size_t>(l) * big, &rng);
+  auto kbuf = RandomBuffer(static_cast<size_t>(l) * big, &rng);
+  const int off = 16;
+  // Extracted copies.
+  std::vector<float> qc(static_cast<size_t>(l) * dh), kc(static_cast<size_t>(l) * dh);
+  for (int t = 0; t < l; ++t) {
+    for (int j = 0; j < dh; ++j) {
+      qc[static_cast<size_t>(t) * dh + j] = q[static_cast<size_t>(t) * big + off + j];
+      kc[static_cast<size_t>(t) * dh + j] = kbuf[static_cast<size_t>(t) * big + off + j];
+    }
+  }
+  std::vector<float> s_strided(static_cast<size_t>(l) * l, 0.0f);
+  std::vector<float> s_copied(static_cast<size_t>(l) * l, 0.0f);
+  kernels::GemmNT(l, l, dh, q.data() + off, big, kbuf.data() + off, big, 0.0f,
+                  s_strided.data(), l);
+  kernels::GemmNT(l, l, dh, qc.data(), dh, kc.data(), dh, 0.0f, s_copied.data(), l);
+  for (size_t i = 0; i < s_strided.size(); ++i) {
+    EXPECT_EQ(s_strided[i], s_copied[i]) << "element " << i;
+  }
+}
+
+TEST(MatrixWrapperTest, MatMulVariantsStillAgreeWithEachOther) {
+  // MatMul/MatMulTransA/MatMulTransB are now kernel wrappers; re-verify the
+  // transpose identities end to end through the Matrix API.
+  Rng rng(107);
+  Matrix a(13, 7);
+  Matrix b(7, 9);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+  }
+  Matrix ref = MatMul(a, b);
+
+  Matrix at(7, 13);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      at.At(j, i) = a.At(i, j);
+    }
+  }
+  Matrix bt(9, 7);
+  for (int i = 0; i < b.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      bt.At(j, i) = b.At(i, j);
+    }
+  }
+  Matrix r1 = MatMulTransA(at, b);
+  Matrix r2 = MatMulTransB(a, bt);
+  for (size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(r1.data()[i], ref.data()[i], 1e-5);
+    EXPECT_NEAR(r2.data()[i], ref.data()[i], 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace cdmpp

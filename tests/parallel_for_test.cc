@@ -1,0 +1,146 @@
+// ThreadPool / ParallelFor contract tests: partition correctness, nested
+// submits, exception propagation, and single-thread determinism.
+#include <atomic>
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/support/parallel_for.h"
+
+namespace cdmpp {
+namespace {
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 10000;
+  std::vector<std::atomic<int>> touched(kN);
+  for (auto& t : touched) {
+    t.store(0);
+  }
+  pool.ParallelFor(0, kN, /*grain=*/64, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      touched[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ChunksRespectGrainAndPartitionTheRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  constexpr int64_t kBegin = 3;
+  constexpr int64_t kEnd = 1001;
+  constexpr int64_t kGrain = 37;
+  pool.ParallelFor(kBegin, kEnd, kGrain, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, kBegin);
+  EXPECT_EQ(chunks.back().second, kEnd);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_LT(chunks[i].first, chunks[i].second);
+    EXPECT_LE(chunks[i].second - chunks[i].first, kGrain);
+    if (i > 0) {
+      EXPECT_EQ(chunks[i].first, chunks[i - 1].second) << "gap or overlap at chunk " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, NestedSubmitRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr int kOuter = 64;
+  constexpr int kInner = 256;
+  std::vector<std::atomic<int64_t>> sums(kOuter);
+  for (auto& s : sums) {
+    s.store(0);
+  }
+  pool.ParallelFor(0, kOuter, 4, [&](int64_t ob, int64_t oe) {
+    for (int64_t o = ob; o < oe; ++o) {
+      // Nested submit: must run inline on this thread, never deadlock.
+      pool.ParallelFor(0, kInner, 16, [&](int64_t ib, int64_t ie) {
+        int64_t local = 0;
+        for (int64_t i = ib; i < ie; ++i) {
+          local += i;
+        }
+        sums[static_cast<size_t>(o)].fetch_add(local);
+      });
+    }
+  });
+  const int64_t expected = static_cast<int64_t>(kInner) * (kInner - 1) / 2;
+  for (int o = 0; o < kOuter; ++o) {
+    EXPECT_EQ(sums[static_cast<size_t>(o)].load(), expected);
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCallerAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000, 8,
+                       [&](int64_t b, int64_t) {
+                         if (b >= 496 && b < 504) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+
+  // The pool must remain fully usable after a failed region.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 100, 7, [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) {
+      local += i;
+    }
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 100 * 99 / 2);
+}
+
+TEST(ParallelForTest, SingleThreadPoolIsSerialAndDeterministic) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<std::pair<int64_t, int64_t>> chunks;  // no mutex needed: serial
+    std::vector<int> order;
+    pool.ParallelFor(0, 100, 10, [&](int64_t b, int64_t e) {
+      chunks.emplace_back(b, e);
+      order.push_back(static_cast<int>(b));
+    });
+    // One inline invocation over the whole range, identical on every run.
+    ASSERT_EQ(chunks.size(), 1u);
+    EXPECT_EQ(chunks[0], (std::pair<int64_t, int64_t>{0, 100}));
+    EXPECT_EQ(order, std::vector<int>{0});
+  }
+}
+
+TEST(ParallelForTest, GlobalPoolWorks) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 1000, 32, [&](int64_t b, int64_t e) {
+    int64_t local = 0;
+    for (int64_t i = b; i < e; ++i) {
+      local += i;
+    }
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1);
+}
+
+}  // namespace
+}  // namespace cdmpp
