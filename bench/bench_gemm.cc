@@ -2,13 +2,18 @@
 // d_model 64, d_ff 128, feature dim 38, batch 1–256 (times a representative
 // leaf count of 8 rows per sample). Reports GFLOP/s for
 //   * the seed repo's naive single-threaded ikj MatMul loop (baseline),
-//   * the blocked + ParallelFor kernel layer (src/nn/kernels.h),
-// and emits machine-readable BENCH_gemm.json so the bench trajectory can be
+//   * the blocked + ParallelFor scalar kernels (portable fallback),
+//   * the runtime-dispatched AVX2 microkernels (when the host supports them),
+// and emits machine-readable BENCH_gemm.json — including which ISA the
+// kernel layer dispatches to by default — so the bench trajectory can be
 // tracked across PRs.
 //
 //   ./build/bench/bench_gemm [--smoke]
 //
-// --smoke shrinks the sweep and rep counts for CI.
+// --smoke shrinks the sweep and rep counts for CI. Exit status is the CI
+// regression gate: nonzero when the scalar kernels fall behind the naive
+// baseline, or when the AVX2 kernels fall behind scalar on the
+// dispatch-eligible shapes.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -19,6 +24,7 @@
 #include <vector>
 
 #include "src/nn/kernels.h"
+#include "src/support/cpu_features.h"
 #include "src/support/parallel_for.h"
 #include "src/support/rng.h"
 #include "src/support/table.h"
@@ -83,8 +89,10 @@ double MeasureGflops(double flops_per_call, double target_ms, int trials, Fn&& f
 struct ShapeResult {
   int batch, m, k, n;
   double gflops_naive = 0.0;
-  double gflops_kernel = 0.0;
-  double speedup = 0.0;
+  double gflops_scalar = 0.0;
+  double gflops_avx2 = 0.0;             // 0 when AVX2 is unavailable
+  double speedup_scalar = 0.0;          // scalar / naive
+  double speedup_avx2 = 0.0;            // avx2 / scalar; 0 when unavailable
 };
 
 // Best-effort host CPU model (Linux); GFLOP/s numbers are only comparable
@@ -108,6 +116,21 @@ std::string CpuModel() {
   return "unknown";
 }
 
+// Geometric-mean of `get(r)` over the results at the largest batch size.
+template <typename Get>
+double GeomeanLargestBatch(const std::vector<ShapeResult>& results, int largest_batch,
+                           Get&& get) {
+  double g = 1.0;
+  int count = 0;
+  for (const ShapeResult& r : results) {
+    if (r.batch == largest_batch) {
+      g *= get(r);
+      ++count;
+    }
+  }
+  return count > 0 ? std::pow(g, 1.0 / count) : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,12 +149,18 @@ int main(int argc, char** argv) {
   // input proj 38->64, attention proj 64->64, FFN 64->128 and 128->64.
   const std::vector<std::pair<int, int>> kn = {{38, 64}, {64, 64}, {64, 128}, {128, 64}};
 
-  std::printf("GEMM data-plane bench: %d threads (CDMPP_NUM_THREADS to override)%s\n\n",
-              ThreadPool::Global().num_threads(), smoke ? " [smoke]" : "");
+  const bool has_avx2 = CpuSupportsAvx2Fma();
+  const KernelIsa dispatched = ActiveKernelIsa();
+  std::printf(
+      "GEMM data-plane bench: %d threads (CDMPP_NUM_THREADS to override), "
+      "dispatch isa=%s%s (CDMPP_KERNEL_ISA to override)%s\n\n",
+      ThreadPool::Global().num_threads(), KernelIsaName(dispatched),
+      has_avx2 ? "" : " [avx2 unavailable]", smoke ? " [smoke]" : "");
 
   Rng rng(13);
   std::vector<ShapeResult> results;
-  TablePrinter table({"batch", "m", "k", "n", "naive GFLOP/s", "kernel GFLOP/s", "speedup"});
+  TablePrinter table({"batch", "m", "k", "n", "naive GFLOP/s", "scalar GFLOP/s",
+                      "avx2 GFLOP/s", "scalar/naive", "avx2/scalar"});
   for (int batch : batches) {
     for (const auto& [k, n] : kn) {
       const int m = batch * kLeaves;
@@ -147,31 +176,47 @@ int main(int argc, char** argv) {
 
       r.gflops_naive = MeasureGflops(flops, target_ms, trials,
                                      [&] { SeedNaiveMatMul(m, n, k, a.data(), b.data(), c.data()); });
-      r.gflops_kernel = MeasureGflops(flops, target_ms, trials, [&] {
+      SetKernelIsa(KernelIsa::kScalar);
+      r.gflops_scalar = MeasureGflops(flops, target_ms, trials, [&] {
         kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, 0.0f, c.data(), n);
       });
-      r.speedup = r.gflops_kernel / r.gflops_naive;
+      if (has_avx2) {
+        SetKernelIsa(KernelIsa::kAvx2);
+        r.gflops_avx2 = MeasureGflops(flops, target_ms, trials, [&] {
+          kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, 0.0f, c.data(), n);
+        });
+      }
+      SetKernelIsa(dispatched);
+      r.speedup_scalar = r.gflops_scalar / r.gflops_naive;
+      r.speedup_avx2 = has_avx2 ? r.gflops_avx2 / r.gflops_scalar : 0.0;
       results.push_back(r);
       table.AddRow({std::to_string(batch), std::to_string(m), std::to_string(k),
                     std::to_string(n), FormatDouble(r.gflops_naive, 2),
-                    FormatDouble(r.gflops_kernel, 2), FormatDouble(r.speedup, 2) + "x"});
+                    FormatDouble(r.gflops_scalar, 2),
+                    has_avx2 ? FormatDouble(r.gflops_avx2, 2) : "-",
+                    FormatDouble(r.speedup_scalar, 2) + "x",
+                    has_avx2 ? FormatDouble(r.speedup_avx2, 2) + "x" : "-"});
     }
   }
   table.Print(stdout);
 
-  // Aggregate headline: geometric-mean speedup at the largest batch.
-  double gmean = 1.0;
-  int count = 0;
-  for (const ShapeResult& r : results) {
-    if (r.batch == batches.back()) {
-      gmean *= r.speedup;
-      ++count;
-    }
-  }
-  if (count > 0) {
-    gmean = std::pow(gmean, 1.0 / count);
-    std::printf("\nGeomean kernel speedup over seed naive MatMul at batch %d: %.2fx\n",
-                batches.back(), gmean);
+  // Aggregate headlines: geometric-mean speedups at the largest batch.
+  const int largest = batches.back();
+  const double gmean_scalar =
+      GeomeanLargestBatch(results, largest, [](const ShapeResult& r) { return r.speedup_scalar; });
+  std::printf("\nGeomean scalar-kernel speedup over seed naive MatMul at batch %d: %.2fx\n",
+              largest, gmean_scalar);
+  double gmean_avx2 = 0.0;
+  if (has_avx2) {
+    gmean_avx2 = GeomeanLargestBatch(results, largest,
+                                     [](const ShapeResult& r) { return r.speedup_avx2; });
+    // Single-core view: batch 1 shapes sit below the kernels' parallel
+    // threshold, so their avx2/scalar ratio isolates the per-core SIMD win.
+    const double gmean_avx2_b1 = GeomeanLargestBatch(
+        results, batches.front(), [](const ShapeResult& r) { return r.speedup_avx2; });
+    std::printf("Geomean AVX2 speedup over scalar kernels: %.2fx at batch %d, "
+                "%.2fx at batch %d (single-core shapes)\n",
+                gmean_avx2, largest, gmean_avx2_b1, batches.front());
   }
 
   // Machine-readable trajectory record.
@@ -179,32 +224,57 @@ int main(int argc, char** argv) {
   if (FILE* f = std::fopen(json_path, "w")) {
     std::fprintf(f,
                  "{\n  \"bench\": \"gemm\",\n  \"threads\": %d,\n  \"smoke\": %s,\n"
-                 "  \"cpu_model\": \"%s\",\n",
+                 "  \"cpu_model\": \"%s\",\n  \"isa_dispatched\": \"%s\",\n"
+                 "  \"avx2_supported\": %s,\n",
                  ThreadPool::Global().num_threads(), smoke ? "true" : "false",
-                 CpuModel().c_str());
+                 CpuModel().c_str(), KernelIsaName(dispatched), has_avx2 ? "true" : "false");
+    // "gflops_kernel" / "speedup" / "geomean_speedup_largest_batch" keep the
+    // pre-dispatch schema alive for cross-PR trajectory diffs: they are the
+    // numbers for whatever ISA the kernel layer dispatches to by default,
+    // exactly what "the kernel layer" meant before the ISA split.
+    const auto dispatched_gflops = [&](const ShapeResult& r) {
+      return dispatched == KernelIsa::kAvx2 ? r.gflops_avx2 : r.gflops_scalar;
+    };
     std::fprintf(f, "  \"shapes\": [\n");
     for (size_t i = 0; i < results.size(); ++i) {
       const ShapeResult& r = results[i];
       std::fprintf(f,
                    "    {\"batch\": %d, \"m\": %d, \"k\": %d, \"n\": %d, "
-                   "\"gflops_naive\": %.4f, \"gflops_kernel\": %.4f, \"speedup\": %.4f}%s\n",
-                   r.batch, r.m, r.k, r.n, r.gflops_naive, r.gflops_kernel, r.speedup,
-                   i + 1 < results.size() ? "," : "");
+                   "\"gflops_naive\": %.4f, \"gflops_scalar\": %.4f, \"gflops_avx2\": %.4f, "
+                   "\"gflops_kernel\": %.4f, \"speedup\": %.4f, "
+                   "\"speedup_scalar_vs_naive\": %.4f, \"speedup_avx2_vs_scalar\": %.4f}%s\n",
+                   r.batch, r.m, r.k, r.n, r.gflops_naive, r.gflops_scalar, r.gflops_avx2,
+                   dispatched_gflops(r), dispatched_gflops(r) / r.gflops_naive,
+                   r.speedup_scalar, r.speedup_avx2, i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ],\n  \"geomean_speedup_largest_batch\": %.4f\n}\n", gmean);
+    const double gmean_dispatched = GeomeanLargestBatch(
+        results, largest,
+        [&](const ShapeResult& r) { return dispatched_gflops(r) / r.gflops_naive; });
+    std::fprintf(f,
+                 "  ],\n  \"geomean_speedup_largest_batch\": %.4f,\n"
+                 "  \"geomean_scalar_speedup_largest_batch\": %.4f,\n"
+                 "  \"geomean_avx2_speedup_largest_batch\": %.4f\n}\n",
+                 gmean_dispatched, gmean_scalar, gmean_avx2);
     std::fclose(f);
     std::printf("Wrote %s\n", json_path);
   } else {
     std::fprintf(stderr, "warning: could not write %s\n", json_path);
   }
 
-  // Regression gate for CI: the kernel layer falling behind the naive seed
-  // loop is a dramatic regression that should fail the job even on noisy
-  // shared runners.
-  if (count > 0 && gmean < 1.0) {
-    std::fprintf(stderr, "FAIL: kernel geomean speedup %.2fx < 1.0x over naive baseline\n",
-                 gmean);
-    return 1;
+  // Regression gates for CI: the kernel layer falling behind the naive seed
+  // loop, or the AVX2 microkernels falling behind the scalar kernels on the
+  // dispatch-eligible shapes, are dramatic regressions that should fail the
+  // job even on noisy shared runners.
+  int rc = 0;
+  if (gmean_scalar > 0.0 && gmean_scalar < 1.0) {
+    std::fprintf(stderr, "FAIL: scalar-kernel geomean speedup %.2fx < 1.0x over naive baseline\n",
+                 gmean_scalar);
+    rc = 1;
   }
-  return 0;
+  if (has_avx2 && gmean_avx2 < 1.0) {
+    std::fprintf(stderr, "FAIL: AVX2 geomean speedup %.2fx < 1.0x over scalar kernels\n",
+                 gmean_avx2);
+    rc = 1;
+  }
+  return rc;
 }

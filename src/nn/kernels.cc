@@ -1,8 +1,20 @@
+// Dispatch layer for the GEMM kernels plus the portable scalar bodies.
+//
+// The public GemmNN/GemmTN/GemmNT/GemmBiasAct entry points pick a per-ISA
+// panel body (scalar here, AVX2 in kernels_avx2.cc) via ActiveKernelIsa(),
+// then run it serially or across ParallelFor row panels. Both bodies
+// accumulate each element over p ascending, so results are bitwise
+// deterministic and batch-size-invariant within an ISA; across ISAs they
+// agree to ~1e-6 relative, not bitwise — the AVX2 body fuses each
+// multiply-add while this translation unit is pinned to separate mul+add
+// roundings via -ffp-contract=off (see src/support/cpu_features.h).
 #include "src/nn/kernels.h"
 
 #include <algorithm>
 #include <cstdint>
 
+#include "src/nn/kernels_internal.h"
+#include "src/support/cpu_features.h"
 #include "src/support/parallel_for.h"
 
 namespace cdmpp {
@@ -60,12 +72,53 @@ inline void InitAccRow(float* acc, const float* crow, int nc, float beta) {
   }
 }
 
+bool WorthForking(int m, int n, int k) {
+  return 2.0 * m * n * std::max(k, 1) >= kParallelMinFlops;
+}
+
+// Runs `panel(i0, i1)` over [0, m), forking across the pool only when the
+// product is big enough to pay for it.
+template <typename Panel>
+void RunPanels(int m, int n, int k, Panel&& panel) {
+  if (!WorthForking(m, n, k)) {
+    panel(0, m);
+    return;
+  }
+  ParallelFor(0, m, RowGrain(m), panel);
+}
+
+#ifdef CDMPP_HAVE_AVX2_KERNELS
+bool UseAvx2() { return ActiveKernelIsa() == KernelIsa::kAvx2; }
+#endif
+
+void GemmNNImpl(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
+                float beta, const float* bias, Activation act, float* c, int ldc) {
+  if (m <= 0 || n <= 0) {
+    return;
+  }
+#ifdef CDMPP_HAVE_AVX2_KERNELS
+  if (UseAvx2()) {
+    RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
+      detail::GemmNNPanelAvx2(r0, r1, n, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    });
+    return;
+  }
+#endif
+  RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
+    detail::GemmNNPanelScalar(r0, r1, n, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+  });
+}
+
+}  // namespace
+
+namespace detail {
+
 // Rows [i0, i1) of C = beta*C + A·B (+ fused bias/act). Both the kMr-row tile
 // and the remainder-row path accumulate each C element over p ascending, so
 // per-element results are independent of panel/tile boundaries.
-void GemmNNPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
-                 const float* b, int ldb, float beta, const float* bias, Activation act,
-                 float* c, int ldc) {
+void GemmNNPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                       const float* b, int ldb, float beta, const float* bias,
+                       Activation act, float* c, int ldc) {
   float acc[kMr][kNc];
   for (int jc = 0; jc < n; jc += kNc) {
     const int nc = std::min(kNc, n - jc);
@@ -110,8 +163,8 @@ void GemmNNPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
 // Rows [i0, i1) of C = beta*C + Aᵀ·B where A is stored [k, m]: column i of
 // the logical Aᵀ row-panel is the contiguous run a[p*lda + i .. i+kMr), so
 // the tile loads stay unit-stride even though the operand is transposed.
-void GemmTNPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
-                 const float* b, int ldb, float beta, float* c, int ldc) {
+void GemmTNPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                       const float* b, int ldb, float beta, float* c, int ldc) {
   float acc[kMr][kNc];
   for (int jc = 0; jc < n; jc += kNc) {
     const int nc = std::min(kNc, n - jc);
@@ -157,9 +210,11 @@ void GemmTNPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
 // stride; j is tiled by 4 so one pass over A's row feeds four independent
 // dot-product chains (ILP) while B rows j..j+3 stay hot in L1. Each dot uses
 // a single accumulator over p ascending in both the tile and remainder
-// paths — same determinism contract as the other kernels.
-void GemmNTPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
-                 const float* b, int ldb, float beta, float* c, int ldc) {
+// paths — same determinism contract as the other kernels. Note the NT
+// formula rounds as fl(fl(beta*c) + sum), with the sum accumulated from 0;
+// the AVX2 body mirrors this exactly.
+void GemmNTPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                       const float* b, int ldb, float beta, float* c, int ldc) {
   constexpr int kNr = 4;
   for (int64_t i = i0; i < i1; ++i) {
     const float* arow = a + i * lda;
@@ -185,34 +240,12 @@ void GemmNTPanel(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
     }
     for (; j < n; ++j) {
       const float* brow = b + static_cast<int64_t>(j) * ldb;
-      float s = 0.0f;
-      for (int p = 0; p < k; ++p) {
-        s += arow[p] * brow[p];
-      }
-      crow[j] = (beta == 0.0f ? 0.0f : beta * crow[j]) + s;
+      crow[j] = GemmNTDotTail(arow, brow, k, beta, crow[j]);
     }
   }
 }
 
-bool WorthForking(int m, int n, int k) {
-  return 2.0 * m * n * std::max(k, 1) >= kParallelMinFlops;
-}
-
-void GemmNNImpl(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
-                float beta, const float* bias, Activation act, float* c, int ldc) {
-  if (m <= 0 || n <= 0) {
-    return;
-  }
-  if (!WorthForking(m, n, k)) {
-    GemmNNPanel(0, m, n, k, a, lda, b, ldb, beta, bias, act, c, ldc);
-    return;
-  }
-  ParallelFor(0, m, RowGrain(m), [&](int64_t r0, int64_t r1) {
-    GemmNNPanel(r0, r1, n, k, a, lda, b, ldb, beta, bias, act, c, ldc);
-  });
-}
-
-}  // namespace
+}  // namespace detail
 
 void GemmNNRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
                float beta, float* c, int ldc) {
@@ -263,12 +296,16 @@ void GemmTN(int m, int n, int k, const float* a, int lda, const float* b, int ld
   if (m <= 0 || n <= 0) {
     return;
   }
-  if (!WorthForking(m, n, k)) {
-    GemmTNPanel(0, m, n, k, a, lda, b, ldb, beta, c, ldc);
+#ifdef CDMPP_HAVE_AVX2_KERNELS
+  if (UseAvx2()) {
+    RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
+      detail::GemmTNPanelAvx2(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
+    });
     return;
   }
-  ParallelFor(0, m, RowGrain(m), [&](int64_t r0, int64_t r1) {
-    GemmTNPanel(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
+#endif
+  RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
+    detail::GemmTNPanelScalar(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
   });
 }
 
@@ -277,12 +314,16 @@ void GemmNT(int m, int n, int k, const float* a, int lda, const float* b, int ld
   if (m <= 0 || n <= 0) {
     return;
   }
-  if (!WorthForking(m, n, k)) {
-    GemmNTPanel(0, m, n, k, a, lda, b, ldb, beta, c, ldc);
+#ifdef CDMPP_HAVE_AVX2_KERNELS
+  if (UseAvx2()) {
+    RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
+      detail::GemmNTPanelAvx2(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
+    });
     return;
   }
-  ParallelFor(0, m, RowGrain(m), [&](int64_t r0, int64_t r1) {
-    GemmNTPanel(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
+#endif
+  RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
+    detail::GemmNTPanelScalar(r0, r1, n, k, a, lda, b, ldb, beta, c, ldc);
   });
 }
 

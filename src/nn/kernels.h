@@ -15,15 +15,23 @@
 // act(A·B + bias) into the kernel's register tile.
 //
 // Implementation contract (relied on by src/serve/ and tests):
-//   * Optimized kernels are cache-blocked over C column panels, register-
-//     tiled over 4-row A panels, and parallelized over row panels via
-//     ParallelFor once the product is large enough to pay for the fork.
+//   * The optimized entry points dispatch at runtime between a portable
+//     scalar body and hand-written AVX2 (+FMA) microkernels — see
+//     src/support/cpu_features.h and the CDMPP_KERNEL_ISA override. Both are
+//     register-tiled over 4-row A panels, vectorized/blocked across output
+//     columns, and parallelized over row panels via ParallelFor once the
+//     product is large enough to pay for the fork.
 //   * Every C element is accumulated over p = 0..k-1 in ascending order,
 //     independent of the row-panel partition, the register tile a row lands
-//     in, and the batch size — so results are bitwise run-to-run
-//     deterministic and batch-size-invariant (PredictBatched == PredictAst).
+//     in, and the batch size — so within a given ISA results are bitwise
+//     run-to-run deterministic and batch-size-invariant
+//     (PredictBatched == PredictAst). Across ISAs results agree to ~1e-6
+//     relative, not bitwise: the AVX2 path rounds each multiply-add once
+//     (FMA) where the scalar path rounds twice. Degenerate shapes (any of
+//     m/n/k zero) are exact under every ISA: beta = 0 zero-fills, k = 0 with
+//     beta != 0 is a pure scale of C, and empty C is untouched.
 //   * The *Ref kernels are the naive triple loops; they are the golden
-//     reference the blocked kernels are tested against and the baseline
+//     reference the dispatched kernels are tested against and the baseline
 //     bench_gemm reports speedups over.
 #ifndef SRC_NN_KERNELS_H_
 #define SRC_NN_KERNELS_H_

@@ -1,0 +1,313 @@
+// Hand-written AVX2 microkernel bodies for the GEMM layer. This translation
+// unit is compiled with `-mavx2 -mfma -ffp-contract=off` and is only entered
+// when ActiveKernelIsa() == KernelIsa::kAvx2 (see src/support/cpu_features.h).
+//
+// All three variants vectorize 8-wide across n (the output-column dimension):
+// one ymm lane == one C element, and each lane accumulates its k products in
+// ascending p order via one FMA per step. Per-element accumulation order is
+// therefore independent of the batch size and the row-panel partition, so
+// within this ISA results are bitwise run-to-run deterministic and
+// batch-size-invariant (the PredictBatched == PredictAst serve contract).
+// Versus the scalar bodies the FMA rounds each step once instead of twice,
+// so scalar and AVX2 agree to ~1e-6 relative rather than bitwise — the
+// deliberate cross-ISA relaxation that buys the >= 2x per-core win (a
+// non-FMA AVX2 kernel peaks at exactly 2x the scalar path's SSE
+// auto-vectorization and delivers less). kernels_test pins both properties:
+// bitwise invariance per ISA, tolerance agreement across ISAs.
+//
+// NN/TN stream B rows with unit stride, so the 8-lane column group falls out
+// of a plain vector load. NT's B is stored [n, k]; the inner kernel loads an
+// 8x8 block of B and transposes it in registers, which keeps the per-lane
+// accumulation in ascending p order without gather instructions.
+#ifdef CDMPP_HAVE_AVX2_KERNELS
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "src/nn/kernels_internal.h"
+
+namespace cdmpp {
+namespace kernels {
+namespace detail {
+namespace {
+
+// Rows of A processed per register tile: 4 accumulator ymms + one B vector
+// stay well inside the 16 architectural registers, and 8 vector ALU ops per
+// loaded B vector saturate both multiply/add ports.
+constexpr int kMr = 4;
+
+// Lane mask selecting the low `lanes` (1..7) of a ymm; maskload/maskstore
+// with it never touch memory past the logical row end.
+inline __m256i TailMask(int lanes) {
+  alignas(32) static const int32_t kMaskTable[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                                     0,  0,  0,  0,  0,  0,  0,  0};
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kMaskTable + 8 - lanes));
+}
+
+// C[i..i+R) x [j..j+8) (or the masked low lanes when Partial) of
+// C = beta*C + op(A)·B with the optional fused bias/activation epilogue.
+// TA selects the A indexing: false reads a[(i+r)*lda + p] (NN), true reads
+// a[p*lda + i+r] (TN, A stored [k, m]).
+template <int R, bool TA, bool Partial>
+void Tile8(int64_t i, int j, __m256i mask, int k, const float* a, int lda, const float* b,
+           int ldb, float beta, const float* bias, Activation act, float* c, int ldc) {
+  const auto Load = [mask](const float* p) {
+    if constexpr (Partial) {
+      return _mm256_maskload_ps(p, mask);
+    } else {
+      (void)mask;
+      return _mm256_loadu_ps(p);
+    }
+  };
+  __m256 acc[R];
+  if (beta == 0.0f) {
+    for (int r = 0; r < R; ++r) {
+      acc[r] = _mm256_setzero_ps();
+    }
+  } else {
+    const __m256 bv = _mm256_set1_ps(beta);
+    for (int r = 0; r < R; ++r) {
+      acc[r] = _mm256_mul_ps(bv, Load(c + (i + r) * ldc + j));
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    const __m256 brow = Load(b + static_cast<int64_t>(p) * ldb + j);
+    for (int r = 0; r < R; ++r) {
+      const float av = TA ? a[static_cast<int64_t>(p) * lda + i + r] : a[(i + r) * lda + p];
+      acc[r] = _mm256_fmadd_ps(_mm256_set1_ps(av), brow, acc[r]);
+    }
+  }
+  if (bias != nullptr) {
+    const __m256 bias_v = Load(bias + j);
+    for (int r = 0; r < R; ++r) {
+      acc[r] = _mm256_add_ps(acc[r], bias_v);
+    }
+  }
+  if (act == Activation::kRelu) {
+    const __m256 zero = _mm256_setzero_ps();
+    for (int r = 0; r < R; ++r) {
+      // max(v, +0) maps -0 and NaN to +0, matching scalar (v > 0 ? v : 0).
+      acc[r] = _mm256_max_ps(acc[r], zero);
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    if constexpr (Partial) {
+      _mm256_maskstore_ps(c + (i + r) * ldc + j, mask, acc[r]);
+    } else {
+      _mm256_storeu_ps(c + (i + r) * ldc + j, acc[r]);
+    }
+  }
+}
+
+// C[i..i+R) x [j..j+16): the main-body tile. Two ymm column groups per row
+// give R*2 accumulator chains — with R = 4 that is 8 independent FMA chains
+// across the two FMA ports, enough to hide the FMA latency that a single
+// 8-wide group cannot (one group is latency-bound at half throughput).
+template <int R, bool TA>
+void Tile16(int64_t i, int j, int k, const float* a, int lda, const float* b, int ldb,
+            float beta, const float* bias, Activation act, float* c, int ldc) {
+  __m256 acc[R][2];
+  if (beta == 0.0f) {
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+  } else {
+    const __m256 bv = _mm256_set1_ps(beta);
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_mul_ps(bv, _mm256_loadu_ps(c + (i + r) * ldc + j));
+      acc[r][1] = _mm256_mul_ps(bv, _mm256_loadu_ps(c + (i + r) * ldc + j + 8));
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    const float* brow = b + static_cast<int64_t>(p) * ldb + j;
+    const __m256 b0 = _mm256_loadu_ps(brow);
+    const __m256 b1 = _mm256_loadu_ps(brow + 8);
+    for (int r = 0; r < R; ++r) {
+      const float av = TA ? a[static_cast<int64_t>(p) * lda + i + r] : a[(i + r) * lda + p];
+      const __m256 avv = _mm256_set1_ps(av);
+      acc[r][0] = _mm256_fmadd_ps(avv, b0, acc[r][0]);
+      acc[r][1] = _mm256_fmadd_ps(avv, b1, acc[r][1]);
+    }
+  }
+  if (bias != nullptr) {
+    const __m256 bias0 = _mm256_loadu_ps(bias + j);
+    const __m256 bias1 = _mm256_loadu_ps(bias + j + 8);
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_add_ps(acc[r][0], bias0);
+      acc[r][1] = _mm256_add_ps(acc[r][1], bias1);
+    }
+  }
+  if (act == Activation::kRelu) {
+    const __m256 zero = _mm256_setzero_ps();
+    for (int r = 0; r < R; ++r) {
+      acc[r][0] = _mm256_max_ps(acc[r][0], zero);
+      acc[r][1] = _mm256_max_ps(acc[r][1], zero);
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    _mm256_storeu_ps(c + (i + r) * ldc + j, acc[r][0]);
+    _mm256_storeu_ps(c + (i + r) * ldc + j + 8, acc[r][1]);
+  }
+}
+
+// Shared NN/TN panel driver: 16-wide column groups for the main body (the B
+// panel for one group is k x 16 floats, L1-resident across the whole row
+// panel), an 8-wide group and a masked tail for the column remainder, and
+// kMr-row tiles with single-row remainder.
+template <bool TA>
+void GemmPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                   const float* b, int ldb, float beta, const float* bias, Activation act,
+                   float* c, int ldc) {
+  const __m256i no_mask = _mm256_setzero_si256();
+  int j = 0;
+  for (; j + 16 <= n; j += 16) {
+    int64_t i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+      Tile16<kMr, TA>(i, j, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    }
+    for (; i < i1; ++i) {
+      Tile16<1, TA>(i, j, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    }
+  }
+  if (j + 8 <= n) {
+    int64_t i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+      Tile8<kMr, TA, false>(i, j, no_mask, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    }
+    for (; i < i1; ++i) {
+      Tile8<1, TA, false>(i, j, no_mask, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    }
+    j += 8;
+  }
+  if (j < n) {
+    const __m256i mask = TailMask(n - j);
+    int64_t i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+      Tile8<kMr, TA, true>(i, j, mask, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    }
+    for (; i < i1; ++i) {
+      Tile8<1, TA, true>(i, j, mask, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+    }
+  }
+}
+
+// Standard in-register 8x8 float transpose: t[pp] lane l becomes the input
+// t[l] lane pp.
+inline void Transpose8x8(__m256 t[8]) {
+  const __m256 u0 = _mm256_unpacklo_ps(t[0], t[1]);
+  const __m256 u1 = _mm256_unpackhi_ps(t[0], t[1]);
+  const __m256 u2 = _mm256_unpacklo_ps(t[2], t[3]);
+  const __m256 u3 = _mm256_unpackhi_ps(t[2], t[3]);
+  const __m256 u4 = _mm256_unpacklo_ps(t[4], t[5]);
+  const __m256 u5 = _mm256_unpackhi_ps(t[4], t[5]);
+  const __m256 u6 = _mm256_unpacklo_ps(t[6], t[7]);
+  const __m256 u7 = _mm256_unpackhi_ps(t[6], t[7]);
+  const __m256 v0 = _mm256_shuffle_ps(u0, u2, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 v1 = _mm256_shuffle_ps(u0, u2, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 v2 = _mm256_shuffle_ps(u1, u3, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 v3 = _mm256_shuffle_ps(u1, u3, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 v4 = _mm256_shuffle_ps(u4, u6, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 v5 = _mm256_shuffle_ps(u4, u6, _MM_SHUFFLE(3, 2, 3, 2));
+  const __m256 v6 = _mm256_shuffle_ps(u5, u7, _MM_SHUFFLE(1, 0, 1, 0));
+  const __m256 v7 = _mm256_shuffle_ps(u5, u7, _MM_SHUFFLE(3, 2, 3, 2));
+  t[0] = _mm256_permute2f128_ps(v0, v4, 0x20);
+  t[1] = _mm256_permute2f128_ps(v1, v5, 0x20);
+  t[2] = _mm256_permute2f128_ps(v2, v6, 0x20);
+  t[3] = _mm256_permute2f128_ps(v3, v7, 0x20);
+  t[4] = _mm256_permute2f128_ps(v0, v4, 0x31);
+  t[5] = _mm256_permute2f128_ps(v1, v5, 0x31);
+  t[6] = _mm256_permute2f128_ps(v2, v6, 0x31);
+  t[7] = _mm256_permute2f128_ps(v3, v7, 0x31);
+}
+
+// C[i..i+R) x [j..j+8) of C = beta*C + A·Bᵀ, B stored [n, k]. Lane l of the
+// accumulator is the dot product over row b[j+l]; 8x8 blocks of B are
+// transposed in registers so each p step is one broadcast FMA, in ascending
+// p order. Mirrors the scalar NT structure: the product sum starts from 0
+// and fl(beta*c) is added at the end.
+template <int R>
+void TileNT8(int64_t i, int j, int k, const float* a, int lda, const float* b, int ldb,
+             float beta, float* c, int ldc) {
+  __m256 acc[R];
+  for (int r = 0; r < R; ++r) {
+    acc[r] = _mm256_setzero_ps();
+  }
+  int p = 0;
+  for (; p + 8 <= k; p += 8) {
+    __m256 t[8];
+    for (int l = 0; l < 8; ++l) {
+      t[l] = _mm256_loadu_ps(b + static_cast<int64_t>(j + l) * ldb + p);
+    }
+    Transpose8x8(t);
+    for (int pp = 0; pp < 8; ++pp) {
+      for (int r = 0; r < R; ++r) {
+        const __m256 av = _mm256_set1_ps(a[(i + r) * lda + p + pp]);
+        acc[r] = _mm256_fmadd_ps(av, t[pp], acc[r]);
+      }
+    }
+  }
+  for (; p < k; ++p) {
+    const __m256 bv = _mm256_set_ps(
+        b[static_cast<int64_t>(j + 7) * ldb + p], b[static_cast<int64_t>(j + 6) * ldb + p],
+        b[static_cast<int64_t>(j + 5) * ldb + p], b[static_cast<int64_t>(j + 4) * ldb + p],
+        b[static_cast<int64_t>(j + 3) * ldb + p], b[static_cast<int64_t>(j + 2) * ldb + p],
+        b[static_cast<int64_t>(j + 1) * ldb + p], b[static_cast<int64_t>(j + 0) * ldb + p]);
+    for (int r = 0; r < R; ++r) {
+      const __m256 av = _mm256_set1_ps(a[(i + r) * lda + p]);
+      acc[r] = _mm256_fmadd_ps(av, bv, acc[r]);
+    }
+  }
+  for (int r = 0; r < R; ++r) {
+    __m256 res = acc[r];
+    if (beta != 0.0f) {
+      const __m256 prior = _mm256_loadu_ps(c + (i + r) * ldc + j);
+      res = _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(beta), prior), acc[r]);
+    }
+    _mm256_storeu_ps(c + (i + r) * ldc + j, res);
+  }
+}
+
+}  // namespace
+
+void GemmNNPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                     const float* b, int ldb, float beta, const float* bias,
+                     Activation act, float* c, int ldc) {
+  GemmPanelAvx2<false>(i0, i1, n, k, a, lda, b, ldb, beta, bias, act, c, ldc);
+}
+
+void GemmTNPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                     const float* b, int ldb, float beta, float* c, int ldc) {
+  GemmPanelAvx2<true>(i0, i1, n, k, a, lda, b, ldb, beta, nullptr, Activation::kNone, c, ldc);
+}
+
+void GemmNTPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                     const float* b, int ldb, float beta, float* c, int ldc) {
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    int64_t i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+      TileNT8<kMr>(i, j, k, a, lda, b, ldb, beta, c, ldc);
+    }
+    for (; i < i1; ++i) {
+      TileNT8<1>(i, j, k, a, lda, b, ldb, beta, c, ldc);
+    }
+  }
+  // Column tail: the shared scalar dot. Which path a column takes depends
+  // only on (j, n), never on the batch size or row partition, so per-element
+  // determinism and batch invariance hold across the vector/tail seam.
+  for (; j < n; ++j) {
+    const float* brow = b + static_cast<int64_t>(j) * ldb;
+    for (int64_t i = i0; i < i1; ++i) {
+      float* cp = c + i * ldc + j;
+      *cp = GemmNTDotTail(a + i * lda, brow, k, beta, *cp);
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace cdmpp
+
+#endif  // CDMPP_HAVE_AVX2_KERNELS

@@ -1,0 +1,64 @@
+// Private interface between the kernel dispatch layer (kernels.cc) and the
+// per-ISA microkernel bodies. Not part of the public kernel API.
+//
+// Every panel function computes rows [i0, i1) of its GEMM variant and must
+// uphold the layer-wide determinism contract: each C element accumulates its
+// k products in ascending p order with a fixed per-element operation
+// sequence, so within an ISA results are bitwise deterministic and
+// independent of the ParallelFor partition and the batch size. Degenerate
+// panels (n == 0 or k == 0) must be handled: k == 0 still applies the beta
+// scale / bias epilogue to C, exactly.
+#ifndef SRC_NN_KERNELS_INTERNAL_H_
+#define SRC_NN_KERNELS_INTERNAL_H_
+
+#include <cstdint>
+
+#include "src/nn/kernels.h"
+
+namespace cdmpp {
+namespace kernels {
+namespace detail {
+
+// One NT output element: c_new = (beta == 0 ? 0 : beta*c_prev) + Σp a[p]*b[p],
+// products accumulated in ascending p with separately rounded mul and add.
+// Shared by the scalar NT body's column remainder and the AVX2 NT panel's
+// column tail so the two ISAs keep one definition of the tail arithmetic
+// (both translation units build with -ffp-contract=off, so the compiler
+// cannot fuse these into FMA in either).
+inline float GemmNTDotTail(const float* arow, const float* brow, int k, float beta,
+                           float c_prev) {
+  float s = 0.0f;
+  for (int p = 0; p < k; ++p) {
+    s += arow[p] * brow[p];
+  }
+  return (beta == 0.0f ? 0.0f : beta * c_prev) + s;
+}
+
+// Portable scalar bodies (kernels.cc), written so -O3 can auto-vectorize the
+// contiguous j loops with the baseline ISA.
+void GemmNNPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                       const float* b, int ldb, float beta, const float* bias,
+                       Activation act, float* c, int ldc);
+void GemmTNPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                       const float* b, int ldb, float beta, float* c, int ldc);
+void GemmNTPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                       const float* b, int ldb, float beta, float* c, int ldc);
+
+#ifdef CDMPP_HAVE_AVX2_KERNELS
+// Hand-written AVX2 bodies (kernels_avx2.cc, compiled with -mavx2 -mfma).
+// Only defined when CMake detects an x86 target compiler; callers must gate
+// on ActiveKernelIsa() == KernelIsa::kAvx2, which is never true otherwise.
+void GemmNNPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                     const float* b, int ldb, float beta, const float* bias,
+                     Activation act, float* c, int ldc);
+void GemmTNPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                     const float* b, int ldb, float beta, float* c, int ldc);
+void GemmNTPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
+                     const float* b, int ldb, float beta, float* c, int ldc);
+#endif  // CDMPP_HAVE_AVX2_KERNELS
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace cdmpp
+
+#endif  // SRC_NN_KERNELS_INTERNAL_H_

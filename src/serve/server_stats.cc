@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/support/cpu_features.h"
 #include "src/support/stats.h"
 
 namespace cdmpp {
@@ -40,10 +41,12 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
     std::lock_guard<std::mutex> lock(latency_mu_);
     latencies = latency_ms_;
   }
-  if (!latencies.empty()) {
-    s.p50_latency_ms = Percentile(latencies, 50.0);
-    s.p99_latency_ms = Percentile(std::move(latencies), 99.0);
-  }
+  // Percentiles sorts once and is defined for the edge cases: an empty
+  // buffer reduces to 0/0, a single sample is its own p50 and p99.
+  const std::vector<double> pcts = Percentiles(std::move(latencies), {50.0, 99.0});
+  s.p50_latency_ms = pcts[0];
+  s.p99_latency_ms = pcts[1];
+  s.kernel_isa = KernelIsaName(ActiveKernelIsa());
   return s;
 }
 
@@ -51,10 +54,10 @@ std::string ServerStatsSnapshot::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%llu reqs in %.3fs (%.0f QPS) | hit rate %.1f%% | "
-                "%llu fwd passes, mean occupancy %.1f | p50 %.3fms p99 %.3fms",
+                "%llu fwd passes, mean occupancy %.1f | p50 %.3fms p99 %.3fms | isa %s",
                 static_cast<unsigned long long>(requests), wall_seconds, qps,
                 cache_hit_rate * 100.0, static_cast<unsigned long long>(forward_passes),
-                mean_batch_occupancy, p50_latency_ms, p99_latency_ms);
+                mean_batch_occupancy, p50_latency_ms, p99_latency_ms, kernel_isa.c_str());
   return buf;
 }
 

@@ -3,7 +3,8 @@
 //
 // Counters are lock-free atomics on the hot path; request latencies go into a
 // bounded mutex-guarded sample buffer that the snapshot reduces to p50/p99
-// with the shared Percentile helper (src/support/stats.h).
+// with the shared Percentiles helper (src/support/stats.h), which is
+// well-defined for empty (0/0) and single-sample buffers.
 #ifndef SRC_SERVE_SERVER_STATS_H_
 #define SRC_SERVE_SERVER_STATS_H_
 
@@ -30,6 +31,10 @@ struct ServerStatsSnapshot {
   double mean_batch_occupancy = 0.0; // batched_rows / forward_passes
   double p50_latency_ms = 0.0;       // submit-to-completion, sampled
   double p99_latency_ms = 0.0;
+
+  // Kernel ISA the data plane dispatches to ("scalar" or "avx2") at snapshot
+  // time, so serving numbers are attributable to the code path that ran.
+  std::string kernel_isa;
 
   std::string ToString() const;
 };

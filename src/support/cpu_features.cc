@@ -1,0 +1,75 @@
+#include "src/support/cpu_features.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cdmpp {
+namespace {
+
+bool DetectAvx2Fma() {
+#if defined(CDMPP_HAVE_AVX2_KERNELS) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  // __builtin_cpu_supports checks the CPUID feature bits and, for AVX-family
+  // features, that the OS has enabled the YMM state via XGETBV.
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+KernelIsa ResolveFromEnv() {
+  const bool avx2_ok = CpuSupportsAvx2Fma();
+  if (const char* env = std::getenv("CDMPP_KERNEL_ISA")) {
+    if (std::strcmp(env, "scalar") == 0) {
+      return KernelIsa::kScalar;
+    }
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2_ok) {
+        return KernelIsa::kAvx2;
+      }
+      std::fprintf(stderr,
+                   "cdmpp: CDMPP_KERNEL_ISA=avx2 requested but AVX2+FMA is unavailable "
+                   "on this host/build; using scalar kernels\n");
+      return KernelIsa::kScalar;
+    }
+    if (env[0] != '\0') {
+      std::fprintf(stderr,
+                   "cdmpp: unknown CDMPP_KERNEL_ISA '%s' (expected scalar|avx2); "
+                   "auto-detecting\n",
+                   env);
+    }
+  }
+  return avx2_ok ? KernelIsa::kAvx2 : KernelIsa::kScalar;
+}
+
+std::atomic<int>& ActiveIsaSlot() {
+  static std::atomic<int> slot{static_cast<int>(ResolveFromEnv())};
+  return slot;
+}
+
+}  // namespace
+
+bool CpuSupportsAvx2Fma() {
+  static const bool supported = DetectAvx2Fma();
+  return supported;
+}
+
+KernelIsa ActiveKernelIsa() {
+  return static_cast<KernelIsa>(ActiveIsaSlot().load(std::memory_order_relaxed));
+}
+
+bool SetKernelIsa(KernelIsa isa) {
+  if (isa == KernelIsa::kAvx2 && !CpuSupportsAvx2Fma()) {
+    return false;
+  }
+  ActiveIsaSlot().store(static_cast<int>(isa), std::memory_order_relaxed);
+  return true;
+}
+
+const char* KernelIsaName(KernelIsa isa) {
+  return isa == KernelIsa::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace cdmpp

@@ -110,20 +110,29 @@ ThreadPool::~ThreadPool() {
   delete impl_;
 }
 
+int ThreadPool::ResolveNumThreads(const char* env_value, int hardware_threads) {
+  const int fallback =
+      std::min(std::max(1, hardware_threads), kMaxThreads);  // hardware may report 0
+  if (env_value == nullptr || env_value[0] == '\0') {
+    return fallback;
+  }
+  char* endp = nullptr;
+  const long v = std::strtol(env_value, &endp, 10);
+  // Reject partial parses ("8abc"), non-numeric values, and anything below
+  // 1 — a pool must always have at least the calling thread. Positive
+  // overflow saturates to LONG_MAX and lands in the clamp below.
+  if (endp == env_value || *endp != '\0' || v < 1) {
+    return fallback;
+  }
+  return static_cast<int>(std::min<long>(v, kMaxThreads));
+}
+
 ThreadPool& ThreadPool::Global() {
   // Leaked on purpose: worker threads must never outlive their pool, and
   // static destruction order at process exit cannot guarantee that.
-  static ThreadPool* pool = [] {
-    int n = static_cast<int>(std::thread::hardware_concurrency());
-    if (const char* env = std::getenv("CDMPP_NUM_THREADS")) {
-      char* endp = nullptr;
-      const long v = std::strtol(env, &endp, 10);
-      if (endp != env && v >= 1) {
-        n = static_cast<int>(std::min<long>(v, 1024));
-      }
-    }
-    return new ThreadPool(std::max(1, n));
-  }();
+  static ThreadPool* pool =
+      new ThreadPool(ResolveNumThreads(std::getenv("CDMPP_NUM_THREADS"),
+                                       static_cast<int>(std::thread::hardware_concurrency())));
   return *pool;
 }
 

@@ -4,8 +4,9 @@
 // whole library shares one pool instead of spawning threads per call.
 //
 // Sizing: the global pool honors the CDMPP_NUM_THREADS environment variable
-// (>= 1); otherwise it uses std::thread::hardware_concurrency(). Tests can
-// construct private pools of any size.
+// (a complete decimal integer in [1, 1024]); malformed or out-of-range values
+// fall back to std::thread::hardware_concurrency(), itself clamped to >= 1.
+// Tests can construct private pools of any size.
 #ifndef SRC_SUPPORT_PARALLEL_FOR_H_
 #define SRC_SUPPORT_PARALLEL_FOR_H_
 
@@ -27,6 +28,16 @@ class ThreadPool {
 
   // Process-wide pool (created on first use, never destroyed).
   static ThreadPool& Global();
+
+  // Resolves the pool size Global() uses from a CDMPP_NUM_THREADS value
+  // (may be null) and the detected hardware concurrency. A value that is not
+  // a complete decimal integer, or is < 1, falls back to `hardware_threads`;
+  // every result is clamped to [1, kMaxThreads], including the fallback
+  // (hardware_concurrency() may legitimately return 0). Exposed for the
+  // regression tests; Global() is a singleton so the env var itself is only
+  // read once per process.
+  static constexpr int kMaxThreads = 1024;
+  static int ResolveNumThreads(const char* env_value, int hardware_threads);
 
   int num_threads() const { return num_threads_; }
 

@@ -30,15 +30,39 @@ double Stddev(const std::vector<double>& xs) {
   return std::sqrt(ss / static_cast<double>(xs.size()));
 }
 
-double Percentile(std::vector<double> xs, double p) {
-  CDMPP_CHECK(!xs.empty());
+namespace {
+
+// Percentile of an already-sorted, non-empty buffer.
+double SortedPercentile(const std::vector<double>& xs, double p) {
   CDMPP_CHECK(p >= 0.0 && p <= 100.0);
-  std::sort(xs.begin(), xs.end());
   double idx = p / 100.0 * static_cast<double>(xs.size() - 1);
   size_t lo = static_cast<size_t>(idx);
   size_t hi = std::min(lo + 1, xs.size() - 1);
   double frac = idx - static_cast<double>(lo);
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  std::sort(xs.begin(), xs.end());
+  return SortedPercentile(xs, p);
+}
+
+std::vector<double> Percentiles(std::vector<double> xs, const std::vector<double>& ps) {
+  if (xs.empty()) {
+    return std::vector<double>(ps.size(), 0.0);
+  }
+  std::sort(xs.begin(), xs.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) {
+    out.push_back(SortedPercentile(xs, p));
+  }
+  return out;
 }
 
 double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {

@@ -15,7 +15,13 @@ double Mean(const std::vector<double>& xs);
 double Stddev(const std::vector<double>& xs);
 
 // Linear-interpolated percentile, p in [0, 100]. Input need not be sorted.
+// 0 for an empty input; a single sample is every percentile of itself.
 double Percentile(std::vector<double> xs, double p);
+
+// Evaluates several percentiles with one sort: returns Percentile(xs, p) for
+// each p in `ps`, in order. 0 per entry for an empty input. Prefer this over
+// repeated Percentile calls when reducing one buffer to p50/p99 etc.
+std::vector<double> Percentiles(std::vector<double> xs, const std::vector<double>& ps);
 
 // Pearson correlation coefficient; 0 if either side has zero variance.
 double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);

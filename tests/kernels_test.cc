@@ -1,14 +1,23 @@
-// Golden-equivalence tests for the blocked/parallel GEMM kernels against the
-// naive reference kernels, across ragged shapes (rows/cols not divisible by
-// the register tile or column block), empty matrices, and 1xN / Nx1 edges —
-// plus the batch-size-invariance contract the serving layer relies on.
+// Golden-equivalence tests for the dispatched GEMM kernels against the naive
+// reference kernels, across ragged shapes (rows/cols not divisible by the
+// register tile or the 8-lane vector width), empty matrices, and 1xN / Nx1
+// edges — plus the batch-size-invariance contract the serving layer relies
+// on. Every suite runs under both kernel ISAs (scalar and, when the host
+// supports it, AVX2). A dedicated suite asserts the cross-ISA contract: the
+// two ISAs agree to tight tolerance everywhere (the AVX2 FMA rounds each
+// multiply-add once where scalar rounds twice, so last-ulp differences are
+// expected) and bitwise on degenerate shapes, where no products are formed.
+// Within each ISA, batch-size invariance is asserted bitwise — that is the
+// contract the serving layer relies on.
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "src/nn/kernels.h"
 #include "src/nn/matrix.h"
+#include "src/support/cpu_features.h"
 #include "src/support/rng.h"
 
 namespace cdmpp {
@@ -20,13 +29,20 @@ struct Shape {
   int m, n, k;
 };
 
-// Ragged on purpose: not divisible by the 4-row register tile or the 128-col
-// block; includes empty and vector-like extremes and shapes big enough to
-// cross the kernels' parallel-dispatch threshold.
+// Ragged on purpose: not divisible by the 4-row register tile, the 128-col
+// scalar block, or the 8-lane AVX2 group; includes empty and vector-like
+// extremes and shapes big enough to cross the parallel-dispatch threshold.
 const Shape kShapes[] = {
-    {0, 0, 0}, {0, 3, 2},  {3, 0, 2},   {3, 4, 0},    {1, 1, 1},    {1, 37, 5},
+    {0, 0, 0},  {0, 3, 2},  {3, 0, 2},   {3, 4, 0},    {1, 1, 1},    {1, 37, 5},
     {37, 1, 5}, {1, 1, 64}, {2, 3, 4},   {5, 5, 5},    {7, 13, 9},   {4, 128, 16},
     {6, 129, 7}, {9, 200, 38}, {33, 64, 22}, {64, 128, 64}, {130, 131, 23}, {257, 65, 19},
+    {5, 23, 11}, {3, 15, 3}, {11, 7, 40},
+};
+
+// Degenerate shapes from empty leaf-count buckets: any of m/n/k zero must be
+// a no-op (beta = 0 zero-fills, k = 0 with beta != 0 is a pure scale of C).
+const Shape kDegenerateShapes[] = {
+    {0, 0, 0}, {0, 5, 3}, {4, 0, 3}, {4, 5, 0}, {1, 0, 0}, {0, 1, 7}, {9, 13, 0},
 };
 
 std::vector<float> RandomBuffer(size_t n, Rng* rng) {
@@ -47,79 +63,225 @@ void ExpectClose(const std::vector<float>& got, const std::vector<float>& want,
   }
 }
 
+void ExpectBitwise(const std::vector<float>& got, const std::vector<float>& want,
+                   const char* what, const Shape& s) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << what << " m=" << s.m << " n=" << s.n << " k=" << s.k
+                               << " at " << i << " (bitwise)";
+  }
+}
+
+// Switches the dispatched ISA for the duration of a test and restores the
+// previous one afterwards. `ok` is false when the host can't run `isa`.
+struct ScopedIsa {
+  explicit ScopedIsa(KernelIsa isa) : prev(ActiveKernelIsa()), ok(SetKernelIsa(isa)) {}
+  ~ScopedIsa() { SetKernelIsa(prev); }
+  KernelIsa prev;
+  bool ok;
+};
+
+// Runs `body` once per available ISA with that ISA dispatched.
+template <typename Body>
+void ForEachIsa(Body&& body) {
+  for (KernelIsa isa : {KernelIsa::kScalar, KernelIsa::kAvx2}) {
+    ScopedIsa scoped(isa);
+    if (!scoped.ok) {
+      continue;  // AVX2 not available on this host/build
+    }
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(isa));
+    body();
+  }
+}
+
 class GemmGoldenTest : public ::testing::TestWithParam<float> {};
 
 TEST_P(GemmGoldenTest, NNMatchesReference) {
   const float beta = GetParam();
-  Rng rng(101);
-  for (const Shape& s : kShapes) {
-    auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
-    auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
-    auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
-    auto c_ref = c_init;
-    auto c_opt = c_init;
-    kernels::GemmNNRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, beta, c_ref.data(), s.n);
-    kernels::GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, beta, c_opt.data(), s.n);
-    ExpectClose(c_opt, c_ref, "GemmNN", s);
-  }
+  ForEachIsa([&] {
+    Rng rng(101);
+    for (const Shape& s : kShapes) {
+      auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
+      auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
+      auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+      auto c_ref = c_init;
+      auto c_opt = c_init;
+      kernels::GemmNNRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, beta, c_ref.data(), s.n);
+      kernels::GemmNN(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, beta, c_opt.data(), s.n);
+      ExpectClose(c_opt, c_ref, "GemmNN", s);
+    }
+  });
 }
 
 TEST_P(GemmGoldenTest, TNMatchesReference) {
   const float beta = GetParam();
-  Rng rng(102);
-  for (const Shape& s : kShapes) {
-    // A stored [k, m] for C = A^T B.
-    auto a = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.m, &rng);
-    auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
-    auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
-    auto c_ref = c_init;
-    auto c_opt = c_init;
-    kernels::GemmTNRef(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, beta, c_ref.data(), s.n);
-    kernels::GemmTN(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, beta, c_opt.data(), s.n);
-    ExpectClose(c_opt, c_ref, "GemmTN", s);
-  }
+  ForEachIsa([&] {
+    Rng rng(102);
+    for (const Shape& s : kShapes) {
+      // A stored [k, m] for C = A^T B.
+      auto a = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.m, &rng);
+      auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
+      auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+      auto c_ref = c_init;
+      auto c_opt = c_init;
+      kernels::GemmTNRef(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, beta, c_ref.data(), s.n);
+      kernels::GemmTN(s.m, s.n, s.k, a.data(), s.m, b.data(), s.n, beta, c_opt.data(), s.n);
+      ExpectClose(c_opt, c_ref, "GemmTN", s);
+    }
+  });
 }
 
 TEST_P(GemmGoldenTest, NTMatchesReference) {
   const float beta = GetParam();
-  Rng rng(103);
-  for (const Shape& s : kShapes) {
-    // B stored [n, k] for C = A B^T.
-    auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
-    auto b = RandomBuffer(static_cast<size_t>(s.n) * std::max(s.k, 1), &rng);
-    auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
-    auto c_ref = c_init;
-    auto c_opt = c_init;
-    kernels::GemmNTRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, beta, c_ref.data(), s.n);
-    kernels::GemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, beta, c_opt.data(), s.n);
-    ExpectClose(c_opt, c_ref, "GemmNT", s);
-  }
+  ForEachIsa([&] {
+    Rng rng(103);
+    for (const Shape& s : kShapes) {
+      // B stored [n, k] for C = A B^T.
+      auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
+      auto b = RandomBuffer(static_cast<size_t>(s.n) * std::max(s.k, 1), &rng);
+      auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+      auto c_ref = c_init;
+      auto c_opt = c_init;
+      kernels::GemmNTRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, beta, c_ref.data(), s.n);
+      kernels::GemmNT(s.m, s.n, s.k, a.data(), s.k, b.data(), s.k, beta, c_opt.data(), s.n);
+      ExpectClose(c_opt, c_ref, "GemmNT", s);
+    }
+  });
 }
 
 INSTANTIATE_TEST_SUITE_P(Betas, GemmGoldenTest, ::testing::Values(0.0f, 1.0f, 0.5f));
 
 TEST(GemmBiasActTest, MatchesReferencePlusEpilogue) {
-  Rng rng(104);
-  for (const Shape& s : kShapes) {
-    auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
-    auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
-    auto bias = RandomBuffer(static_cast<size_t>(s.n), &rng);
-    for (Activation act : {Activation::kNone, Activation::kRelu}) {
-      std::vector<float> c_ref(static_cast<size_t>(s.m) * s.n, 0.0f);
-      kernels::GemmNNRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, 0.0f, c_ref.data(), s.n);
+  ForEachIsa([&] {
+    Rng rng(104);
+    for (const Shape& s : kShapes) {
+      auto a = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
+      auto b = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
+      auto bias = RandomBuffer(static_cast<size_t>(s.n), &rng);
+      for (Activation act : {Activation::kNone, Activation::kRelu}) {
+        std::vector<float> c_ref(static_cast<size_t>(s.m) * s.n, 0.0f);
+        kernels::GemmNNRef(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, 0.0f, c_ref.data(), s.n);
+        for (int i = 0; i < s.m; ++i) {
+          for (int j = 0; j < s.n; ++j) {
+            float v = c_ref[static_cast<size_t>(i) * s.n + j] + bias[static_cast<size_t>(j)];
+            if (act == Activation::kRelu) {
+              v = std::max(0.0f, v);
+            }
+            c_ref[static_cast<size_t>(i) * s.n + j] = v;
+          }
+        }
+        std::vector<float> c_opt(static_cast<size_t>(s.m) * s.n, -7.0f);
+        kernels::GemmBiasAct(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, bias.data(), act,
+                             c_opt.data(), s.n);
+        ExpectClose(c_opt, c_ref, act == Activation::kRelu ? "BiasRelu" : "BiasNone", s);
+      }
+    }
+  });
+}
+
+// Degenerate-shape contract (empty leaf-count buckets from MakeBatches):
+// m/n/k == 0 must agree *bitwise* with the reference semantics — k == 0 with
+// beta = 0 zero-fills C, with beta != 0 scales C, and empty C is untouched.
+TEST(GemmDegenerateShapeTest, AllVariantsMatchReferenceBitwise) {
+  ForEachIsa([&] {
+    Rng rng(111);
+    for (const Shape& s : kDegenerateShapes) {
+      for (float beta : {0.0f, 0.5f, 1.0f, 2.0f}) {
+        // With one dimension zero the kernels never read A or B; small
+        // non-empty buffers keep the pointers valid for every variant.
+        auto a = RandomBuffer(64, &rng);
+        auto b = RandomBuffer(64, &rng);
+        auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+
+        auto c_ref = c_init;
+        auto c_opt = c_init;
+        kernels::GemmNNRef(s.m, s.n, s.k, a.data(), std::max(s.k, 1), b.data(),
+                           std::max(s.n, 1), beta, c_ref.data(), std::max(s.n, 1));
+        kernels::GemmNN(s.m, s.n, s.k, a.data(), std::max(s.k, 1), b.data(),
+                        std::max(s.n, 1), beta, c_opt.data(), std::max(s.n, 1));
+        ExpectBitwise(c_opt, c_ref, "GemmNN degenerate", s);
+
+        c_ref = c_init;
+        c_opt = c_init;
+        kernels::GemmTNRef(s.m, s.n, s.k, a.data(), std::max(s.m, 1), b.data(),
+                           std::max(s.n, 1), beta, c_ref.data(), std::max(s.n, 1));
+        kernels::GemmTN(s.m, s.n, s.k, a.data(), std::max(s.m, 1), b.data(),
+                        std::max(s.n, 1), beta, c_opt.data(), std::max(s.n, 1));
+        ExpectBitwise(c_opt, c_ref, "GemmTN degenerate", s);
+
+        c_ref = c_init;
+        c_opt = c_init;
+        kernels::GemmNTRef(s.m, s.n, s.k, a.data(), std::max(s.k, 1), b.data(),
+                           std::max(s.k, 1), beta, c_ref.data(), std::max(s.n, 1));
+        kernels::GemmNT(s.m, s.n, s.k, a.data(), std::max(s.k, 1), b.data(),
+                        std::max(s.k, 1), beta, c_opt.data(), std::max(s.n, 1));
+        ExpectBitwise(c_opt, c_ref, "GemmNT degenerate", s);
+      }
+      // k == 0 GemmBiasAct still applies the epilogue: act(0 + bias).
+      auto bias = RandomBuffer(static_cast<size_t>(std::max(s.n, 1)), &rng);
+      std::vector<float> c_ref(static_cast<size_t>(s.m) * s.n);
       for (int i = 0; i < s.m; ++i) {
         for (int j = 0; j < s.n; ++j) {
-          float v = c_ref[static_cast<size_t>(i) * s.n + j] + bias[static_cast<size_t>(j)];
-          if (act == Activation::kRelu) {
-            v = std::max(0.0f, v);
-          }
-          c_ref[static_cast<size_t>(i) * s.n + j] = v;
+          c_ref[static_cast<size_t>(i) * s.n + j] = std::max(0.0f, bias[static_cast<size_t>(j)]);
         }
       }
-      std::vector<float> c_opt(static_cast<size_t>(s.m) * s.n, -7.0f);
-      kernels::GemmBiasAct(s.m, s.n, s.k, a.data(), s.k, b.data(), s.n, bias.data(), act,
-                           c_opt.data(), s.n);
-      ExpectClose(c_opt, c_ref, act == Activation::kRelu ? "BiasRelu" : "BiasNone", s);
+      std::vector<float> c_opt(static_cast<size_t>(s.m) * s.n, -3.0f);
+      kernels::GemmBiasAct(s.m, s.n, 0, nullptr, 1, nullptr, std::max(s.n, 1), bias.data(),
+                           Activation::kRelu, c_opt.data(), std::max(s.n, 1));
+      ExpectBitwise(c_opt, c_ref, "GemmBiasAct k=0", s);
+    }
+  });
+}
+
+// The cross-ISA contract: scalar and AVX2 kernels agree on every shape,
+// including ragged and unaligned-n cases, to within FMA-vs-mul+add rounding
+// (each element differs only by one-vs-two roundings per reduction step, so
+// a tight mixed absolute/relative tolerance holds; bitwise equality across
+// ISAs is deliberately not promised — see src/support/cpu_features.h).
+TEST(GemmCrossIsaTest, ScalarAndAvx2AgreeWithinFmaRounding) {
+  if (!CpuSupportsAvx2Fma()) {
+    GTEST_SKIP() << "AVX2+FMA not available on this host/build";
+  }
+  Rng rng(120);
+  for (const Shape& s : kShapes) {
+    for (float beta : {0.0f, 1.0f, 0.5f}) {
+      auto a_nn = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), &rng);
+      auto a_tn = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.m, &rng);
+      auto b_nn = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, &rng);
+      auto b_nt = RandomBuffer(static_cast<size_t>(s.n) * std::max(s.k, 1), &rng);
+      auto bias = RandomBuffer(static_cast<size_t>(s.n), &rng);
+      auto c_init = RandomBuffer(static_cast<size_t>(s.m) * s.n, &rng);
+
+      auto RunAll = [&](KernelIsa isa, std::vector<float> out[4]) {
+        ScopedIsa scoped(isa);
+        ASSERT_TRUE(scoped.ok);
+        out[0] = c_init;
+        kernels::GemmNN(s.m, s.n, s.k, a_nn.data(), s.k, b_nn.data(), s.n, beta,
+                        out[0].data(), s.n);
+        out[1] = c_init;
+        kernels::GemmTN(s.m, s.n, s.k, a_tn.data(), s.m, b_nn.data(), s.n, beta,
+                        out[1].data(), s.n);
+        out[2] = c_init;
+        kernels::GemmNT(s.m, s.n, s.k, a_nn.data(), s.k, b_nt.data(), s.k, beta,
+                        out[2].data(), s.n);
+        out[3] = c_init;
+        kernels::GemmBiasAct(s.m, s.n, s.k, a_nn.data(), s.k, b_nn.data(), s.n, bias.data(),
+                             Activation::kRelu, out[3].data(), s.n);
+      };
+      std::vector<float> scalar_out[4];
+      std::vector<float> avx2_out[4];
+      RunAll(KernelIsa::kScalar, scalar_out);
+      RunAll(KernelIsa::kAvx2, avx2_out);
+      ExpectClose(avx2_out[0], scalar_out[0], "cross-ISA GemmNN", s);
+      ExpectClose(avx2_out[1], scalar_out[1], "cross-ISA GemmTN", s);
+      ExpectClose(avx2_out[2], scalar_out[2], "cross-ISA GemmNT", s);
+      ExpectClose(avx2_out[3], scalar_out[3], "cross-ISA GemmBiasAct", s);
+      // With k == 0 no products are formed under either ISA, so the beta
+      // scale / bias epilogue must match bitwise across ISAs.
+      if (s.k == 0) {
+        ExpectBitwise(avx2_out[0], scalar_out[0], "cross-ISA GemmNN k=0", s);
+        ExpectBitwise(avx2_out[3], scalar_out[3], "cross-ISA GemmBiasAct k=0", s);
+      }
     }
   }
 }
@@ -127,83 +289,107 @@ TEST(GemmBiasActTest, MatchesReferencePlusEpilogue) {
 TEST(GemmDeterminismTest, RowResultsAreBatchSizeInvariant) {
   // The serving layer's bitwise PredictBatched == PredictAst contract: a row
   // computed inside a 64-row product must equal the same row computed alone.
-  Rng rng(105);
-  const int m = 64, n = 96, k = 38;
-  auto a = RandomBuffer(static_cast<size_t>(m) * k, &rng);
-  auto b = RandomBuffer(static_cast<size_t>(k) * n, &rng);
-  std::vector<float> c_full(static_cast<size_t>(m) * n, 0.0f);
-  kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, 0.0f, c_full.data(), n);
-  for (int i = 0; i < m; ++i) {
-    std::vector<float> c_row(static_cast<size_t>(n), 0.0f);
-    kernels::GemmNN(1, n, k, a.data() + static_cast<size_t>(i) * k, k, b.data(), n, 0.0f,
-                    c_row.data(), n);
-    for (int j = 0; j < n; ++j) {
-      // Bitwise, not approximately.
-      EXPECT_EQ(c_full[static_cast<size_t>(i) * n + j], c_row[static_cast<size_t>(j)])
-          << "row " << i << " col " << j;
+  // Must hold under every dispatched ISA.
+  ForEachIsa([&] {
+    Rng rng(105);
+    const int m = 64, n = 96, k = 38;
+    auto a = RandomBuffer(static_cast<size_t>(m) * k, &rng);
+    auto b = RandomBuffer(static_cast<size_t>(k) * n, &rng);
+    std::vector<float> c_full(static_cast<size_t>(m) * n, 0.0f);
+    kernels::GemmNN(m, n, k, a.data(), k, b.data(), n, 0.0f, c_full.data(), n);
+    for (int i = 0; i < m; ++i) {
+      std::vector<float> c_row(static_cast<size_t>(n), 0.0f);
+      kernels::GemmNN(1, n, k, a.data() + static_cast<size_t>(i) * k, k, b.data(), n, 0.0f,
+                      c_row.data(), n);
+      for (int j = 0; j < n; ++j) {
+        // Bitwise, not approximately.
+        EXPECT_EQ(c_full[static_cast<size_t>(i) * n + j], c_row[static_cast<size_t>(j)])
+            << "row " << i << " col " << j;
+      }
     }
-  }
+  });
 }
 
 TEST(GemmStridedTest, LeadingDimensionsAddressSubBlocks) {
   // The attention path multiplies per-head sub-blocks in place inside packed
   // [rows, d_model] activations; verify lda/ldb/ldc > logical width works.
-  Rng rng(106);
-  const int big = 32;       // packed width
-  const int l = 5, dh = 8;  // seq_len x d_head block at column offset 16
-  auto q = RandomBuffer(static_cast<size_t>(l) * big, &rng);
-  auto kbuf = RandomBuffer(static_cast<size_t>(l) * big, &rng);
-  const int off = 16;
-  // Extracted copies.
-  std::vector<float> qc(static_cast<size_t>(l) * dh), kc(static_cast<size_t>(l) * dh);
-  for (int t = 0; t < l; ++t) {
-    for (int j = 0; j < dh; ++j) {
-      qc[static_cast<size_t>(t) * dh + j] = q[static_cast<size_t>(t) * big + off + j];
-      kc[static_cast<size_t>(t) * dh + j] = kbuf[static_cast<size_t>(t) * big + off + j];
+  ForEachIsa([&] {
+    Rng rng(106);
+    const int big = 32;       // packed width
+    const int l = 5, dh = 8;  // seq_len x d_head block at column offset 16
+    auto q = RandomBuffer(static_cast<size_t>(l) * big, &rng);
+    auto kbuf = RandomBuffer(static_cast<size_t>(l) * big, &rng);
+    const int off = 16;
+    // Extracted copies.
+    std::vector<float> qc(static_cast<size_t>(l) * dh), kc(static_cast<size_t>(l) * dh);
+    for (int t = 0; t < l; ++t) {
+      for (int j = 0; j < dh; ++j) {
+        qc[static_cast<size_t>(t) * dh + j] = q[static_cast<size_t>(t) * big + off + j];
+        kc[static_cast<size_t>(t) * dh + j] = kbuf[static_cast<size_t>(t) * big + off + j];
+      }
     }
+    std::vector<float> s_strided(static_cast<size_t>(l) * l, 0.0f);
+    std::vector<float> s_copied(static_cast<size_t>(l) * l, 0.0f);
+    kernels::GemmNT(l, l, dh, q.data() + off, big, kbuf.data() + off, big, 0.0f,
+                    s_strided.data(), l);
+    kernels::GemmNT(l, l, dh, qc.data(), dh, kc.data(), dh, 0.0f, s_copied.data(), l);
+    for (size_t i = 0; i < s_strided.size(); ++i) {
+      EXPECT_EQ(s_strided[i], s_copied[i]) << "element " << i;
+    }
+  });
+}
+
+TEST(KernelIsaDispatchTest, SetAndQueryRoundTrip) {
+  const KernelIsa original = ActiveKernelIsa();
+  EXPECT_TRUE(SetKernelIsa(KernelIsa::kScalar));
+  EXPECT_EQ(ActiveKernelIsa(), KernelIsa::kScalar);
+  EXPECT_STREQ(KernelIsaName(KernelIsa::kScalar), "scalar");
+  EXPECT_STREQ(KernelIsaName(KernelIsa::kAvx2), "avx2");
+  if (CpuSupportsAvx2Fma()) {
+    EXPECT_TRUE(SetKernelIsa(KernelIsa::kAvx2));
+    EXPECT_EQ(ActiveKernelIsa(), KernelIsa::kAvx2);
+  } else {
+    // Requesting an unavailable ISA must be refused, not crash later.
+    EXPECT_FALSE(SetKernelIsa(KernelIsa::kAvx2));
+    EXPECT_EQ(ActiveKernelIsa(), KernelIsa::kScalar);
   }
-  std::vector<float> s_strided(static_cast<size_t>(l) * l, 0.0f);
-  std::vector<float> s_copied(static_cast<size_t>(l) * l, 0.0f);
-  kernels::GemmNT(l, l, dh, q.data() + off, big, kbuf.data() + off, big, 0.0f,
-                  s_strided.data(), l);
-  kernels::GemmNT(l, l, dh, qc.data(), dh, kc.data(), dh, 0.0f, s_copied.data(), l);
-  for (size_t i = 0; i < s_strided.size(); ++i) {
-    EXPECT_EQ(s_strided[i], s_copied[i]) << "element " << i;
-  }
+  SetKernelIsa(original);
 }
 
 TEST(MatrixWrapperTest, MatMulVariantsStillAgreeWithEachOther) {
   // MatMul/MatMulTransA/MatMulTransB are now kernel wrappers; re-verify the
   // transpose identities end to end through the Matrix API.
-  Rng rng(107);
-  Matrix a(13, 7);
-  Matrix b(7, 9);
-  for (size_t i = 0; i < a.size(); ++i) {
-    a.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
-  }
-  for (size_t i = 0; i < b.size(); ++i) {
-    b.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
-  }
-  Matrix ref = MatMul(a, b);
+  ForEachIsa([&] {
+    Rng rng(107);
+    Matrix a(13, 7);
+    Matrix b(7, 9);
+    for (size_t i = 0; i < a.size(); ++i) {
+      a.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    for (size_t i = 0; i < b.size(); ++i) {
+      b.data()[i] = static_cast<float>(rng.Normal(0.0, 1.0));
+    }
+    Matrix ref = MatMul(a, b);
 
-  Matrix at(7, 13);
-  for (int i = 0; i < a.rows(); ++i) {
-    for (int j = 0; j < a.cols(); ++j) {
-      at.At(j, i) = a.At(i, j);
+    Matrix at(7, 13);
+    for (int i = 0; i < a.rows(); ++i) {
+      for (int j = 0; j < a.cols(); ++j) {
+        at.At(j, i) = a.At(i, j);
+      }
     }
-  }
-  Matrix bt(9, 7);
-  for (int i = 0; i < b.rows(); ++i) {
-    for (int j = 0; j < b.cols(); ++j) {
-      bt.At(j, i) = b.At(i, j);
+    Matrix bt(9, 7);
+    for (int i = 0; i < b.rows(); ++i) {
+      for (int j = 0; j < b.cols(); ++j) {
+        bt.At(j, i) = b.At(i, j);
+      }
     }
-  }
-  Matrix r1 = MatMulTransA(at, b);
-  Matrix r2 = MatMulTransB(a, bt);
-  for (size_t i = 0; i < ref.size(); ++i) {
-    EXPECT_NEAR(r1.data()[i], ref.data()[i], 1e-5);
-    EXPECT_NEAR(r2.data()[i], ref.data()[i], 1e-5);
-  }
+    Matrix r1 = MatMulTransA(at, b);
+    Matrix r2 = MatMulTransB(a, bt);
+    for (size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(r1.data()[i], ref.data()[i], 1e-5);
+      EXPECT_NEAR(r2.data()[i], ref.data()[i], 1e-5);
+    }
+  });
 }
 
 }  // namespace

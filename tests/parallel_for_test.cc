@@ -129,6 +129,37 @@ TEST(ParallelForTest, SingleThreadPoolIsSerialAndDeterministic) {
   }
 }
 
+TEST(ResolveNumThreadsTest, FallsBackOnMalformedOrNonPositiveValues) {
+  // Regression: a non-numeric or <= 0 CDMPP_NUM_THREADS must never yield a
+  // 0/negative pool size — it falls back to the hardware count.
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(nullptr, 8), 8);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("", 8), 8);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("abc", 8), 8);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("0", 8), 8);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("-4", 8), 8);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("  ", 8), 8);
+  // Partial parses ("8abc") are rejected, not truncated to 8.
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("8abc", 4), 4);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("1.5", 4), 4);
+}
+
+TEST(ResolveNumThreadsTest, AcceptsAndClampsNumericValues) {
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("1", 8), 1);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("16", 8), 16);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("+3", 8), 3);
+  // Huge and overflowing values clamp to the pool ceiling.
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("4096", 8), ThreadPool::kMaxThreads);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("99999999999999999999", 8),
+            ThreadPool::kMaxThreads);
+}
+
+TEST(ResolveNumThreadsTest, HardwareFallbackIsAlwaysPositive) {
+  // hardware_concurrency() may report 0; the pool still needs >= 1 thread.
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(nullptr, 0), 1);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads("junk", 0), 1);
+  EXPECT_EQ(ThreadPool::ResolveNumThreads(nullptr, -2), 1);
+}
+
 TEST(ParallelForTest, GlobalPoolWorks) {
   std::atomic<int64_t> sum{0};
   ParallelFor(0, 1000, 32, [&](int64_t b, int64_t e) {

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "src/serve/prediction_service.h"
+#include "src/support/cpu_features.h"
 #include "src/tir/schedule.h"
 
 namespace cdmpp {
@@ -380,6 +381,61 @@ TEST(PredictBatchedTest, BatchedForwardFasterThanPerRequestForward) {
     single = measure_single(2 * kSamples);
   }
   EXPECT_LT(batched, single);
+}
+
+// ---- ServerStats unit tests ------------------------------------------------
+
+TEST(ServerStatsTest, EmptyLatencyBufferSnapshotsToZeroPercentiles) {
+  // Regression: snapshotting before any request completes must be
+  // well-defined, not UB in the percentile reduction.
+  ServerStats stats;
+  ServerStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 0.0);
+  EXPECT_DOUBLE_EQ(s.qps, 0.0);
+  // ToString on the empty snapshot must not crash either.
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(ServerStatsTest, SingleSampleIsItsOwnPercentiles) {
+  ServerStats stats;
+  stats.RecordLatencyMs(3.25);
+  ServerStatsSnapshot s = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(s.p50_latency_ms, 3.25);
+  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 3.25);
+}
+
+TEST(ServerStatsTest, PercentilesAreOrderedAndSnapshotIsRepeatable) {
+  ServerStats stats;
+  for (int i = 100; i >= 1; --i) {
+    stats.RecordLatencyMs(static_cast<double>(i));
+  }
+  ServerStatsSnapshot s1 = stats.Snapshot();
+  EXPECT_LE(s1.p50_latency_ms, s1.p99_latency_ms);
+  EXPECT_NEAR(s1.p50_latency_ms, 50.5, 1e-9);
+  // A second snapshot must see the same buffer (the reduction may not
+  // consume or corrupt it).
+  ServerStatsSnapshot s2 = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(s2.p50_latency_ms, s1.p50_latency_ms);
+  EXPECT_DOUBLE_EQ(s2.p99_latency_ms, s1.p99_latency_ms);
+}
+
+TEST(ServerStatsTest, LatencyBufferIsBounded) {
+  ServerStats stats(/*max_latency_samples=*/4);
+  for (int i = 0; i < 100; ++i) {
+    stats.RecordLatencyMs(1.0);
+  }
+  stats.RecordLatencyMs(1000.0);  // beyond the cap: counted nowhere, sampled never
+  ServerStatsSnapshot s = stats.Snapshot();
+  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 1.0);
+}
+
+TEST(ServerStatsTest, SnapshotReportsDispatchedKernelIsa) {
+  ServerStats stats;
+  ServerStatsSnapshot s = stats.Snapshot();
+  EXPECT_EQ(s.kernel_isa, KernelIsaName(ActiveKernelIsa()));
+  EXPECT_NE(s.ToString().find("isa " + s.kernel_isa), std::string::npos);
 }
 
 }  // namespace

@@ -80,6 +80,31 @@ TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile(xs, 50), 2.5);
 }
 
+TEST(StatsTest, PercentileDegenerateInputs) {
+  // Empty reduces to 0 (matching Mean/Stddev); one sample is every
+  // percentile of itself.
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 99), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 0), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 50), 7.5);
+  EXPECT_DOUBLE_EQ(Percentile({7.5}, 100), 7.5);
+}
+
+TEST(StatsTest, PercentilesMatchesRepeatedPercentileCalls) {
+  std::vector<double> xs = {9, 1, 5, 3, 7};
+  std::vector<double> got = Percentiles(xs, {0.0, 50.0, 99.0, 100.0});
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_DOUBLE_EQ(got[0], Percentile(xs, 0.0));
+  EXPECT_DOUBLE_EQ(got[1], Percentile(xs, 50.0));
+  EXPECT_DOUBLE_EQ(got[2], Percentile(xs, 99.0));
+  EXPECT_DOUBLE_EQ(got[3], Percentile(xs, 100.0));
+
+  std::vector<double> empty = Percentiles({}, {50.0, 99.0});
+  ASSERT_EQ(empty.size(), 2u);
+  EXPECT_DOUBLE_EQ(empty[0], 0.0);
+  EXPECT_DOUBLE_EQ(empty[1], 0.0);
+}
+
 TEST(StatsTest, PearsonPerfectCorrelation) {
   std::vector<double> xs = {1, 2, 3, 4, 5};
   std::vector<double> ys = {2, 4, 6, 8, 10};
