@@ -4,7 +4,12 @@
 //
 // Reports QPS, mean batch occupancy, cache hit rate, and p50/p99 request
 // latency per configuration, plus the headline batched-vs-unbatched
-// comparison. Build & run:  ./build/bench/bench_serve_throughput [--smoke]
+// comparison, and emits machine-readable BENCH_serve.json (QPS, p50/p99,
+// kernel ISA, serving precision) so CI tracks the serving trajectory next to
+// the GEMM one. The serving precision comes from the ServeOptions default,
+// i.e. the CDMPP_PRECISION environment override — the int8 CI leg measures
+// the quantized serving path with no bench-side changes.
+// Build & run:  ./build/bench/bench_serve_throughput [--smoke]
 // (--smoke shrinks the workload and sweep for CI.)
 #include <chrono>
 #include <cstdio>
@@ -13,6 +18,7 @@
 #include <vector>
 
 #include "src/serve/prediction_service.h"
+#include "src/support/cpu_features.h"
 #include "src/support/table.h"
 #include "src/tir/schedule.h"
 
@@ -111,6 +117,12 @@ int main(int argc, char** argv) {
               w.asts.size());
 
   // ---- Sweep: workers x batch window, cache on. ----
+  struct SweepRecord {
+    int workers;
+    double window_ms;
+    RunResult result;
+  };
+  std::vector<SweepRecord> sweep_records;
   TablePrinter sweep({"workers", "window (ms)", "max batch", "QPS", "occupancy", "hit rate",
                       "p50 (ms)", "p99 (ms)"});
   const std::vector<int> worker_sweep = smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4};
@@ -130,6 +142,7 @@ int main(int argc, char** argv) {
                     FormatPercent(r.stats.cache_hit_rate, 1),
                     FormatDouble(r.stats.p50_latency_ms, 3),
                     FormatDouble(r.stats.p99_latency_ms, 3)});
+      sweep_records.push_back({workers, window_ms, r});
     }
   }
   std::printf("Sweep (prediction cache enabled):\n");
@@ -163,5 +176,45 @@ int main(int argc, char** argv) {
   headline.Print(stdout);
   std::printf("\nBatched serving: %.2fx the QPS of one-forward-per-request.\n",
               r_batched.qps / r_single.qps);
+
+  // Machine-readable trajectory record, uploaded by CI next to
+  // BENCH_gemm.json. `precision`/`kernel_isa` come from the batched run's
+  // snapshot: the code paths that actually served the headline.
+  const char* json_path = "BENCH_serve.json";
+  if (FILE* f = std::fopen(json_path, "w")) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"serve_throughput\",\n  \"smoke\": %s,\n"
+                 "  \"kernel_isa\": \"%s\",\n  \"precision\": \"%s\",\n"
+                 "  \"requests\": %zu,\n  \"unique_schedules\": %zu,\n"
+                 "  \"headline\": {\n"
+                 "    \"qps_single\": %.2f,\n    \"qps_batched\": %.2f,\n"
+                 "    \"batched_speedup\": %.4f,\n"
+                 "    \"p50_ms_single\": %.4f,\n    \"p99_ms_single\": %.4f,\n"
+                 "    \"p50_ms_batched\": %.4f,\n    \"p99_ms_batched\": %.4f,\n"
+                 "    \"occupancy_batched\": %.2f\n  },\n",
+                 smoke ? "true" : "false", r_batched.stats.kernel_isa.c_str(),
+                 r_batched.stats.precision.c_str(), w.requests.size(), w.asts.size(),
+                 r_single.qps, r_batched.qps, r_batched.qps / r_single.qps,
+                 r_single.stats.p50_latency_ms, r_single.stats.p99_latency_ms,
+                 r_batched.stats.p50_latency_ms, r_batched.stats.p99_latency_ms,
+                 r_batched.stats.mean_batch_occupancy);
+    std::fprintf(f, "  \"sweep\": [\n");
+    for (size_t i = 0; i < sweep_records.size(); ++i) {
+      const SweepRecord& rec = sweep_records[i];
+      std::fprintf(f,
+                   "    {\"workers\": %d, \"window_ms\": %.1f, \"qps\": %.2f, "
+                   "\"hit_rate\": %.4f, \"occupancy\": %.2f, "
+                   "\"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                   rec.workers, rec.window_ms, rec.result.qps,
+                   rec.result.stats.cache_hit_rate, rec.result.stats.mean_batch_occupancy,
+                   rec.result.stats.p50_latency_ms, rec.result.stats.p99_latency_ms,
+                   i + 1 < sweep_records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("Wrote %s\n", json_path);
+  } else {
+    std::fprintf(stderr, "warning: could not write %s\n", json_path);
+  }
   return 0;
 }

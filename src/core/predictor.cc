@@ -425,6 +425,30 @@ double CdmppPredictor::PredictAst(const CompactAst& ast, int device_id) {
   return PredictBatched(view)[0];
 }
 
+void CdmppPredictor::PrepareQuantizedInference() {
+  CDMPP_CHECK_MSG(fitted_, "quantize an unfitted predictor: run Pretrain first");
+  q_leaf_heads_.clear();
+  for (const auto& [leaves, head] : leaf_heads_) {
+    q_leaf_heads_[leaves] = std::make_unique<QuantizedLinear>(*head);
+  }
+  q_device_mlp_ = std::make_unique<QuantizedMlp>(*device_mlp_);
+  // The decoder's final [*, 1] projection stays fp32: its absolute noise
+  // hits the transformed label directly (see QuantizedMlp in quantize.h).
+  q_decoder_ = std::make_unique<QuantizedMlp>(*decoder_, /*num_fp32_tail_layers=*/1);
+}
+
+bool CdmppPredictor::HasQuantizedHead(int leaf_count) const {
+  return q_leaf_heads_.find(leaf_count) != q_leaf_heads_.end();
+}
+
+void CdmppPredictor::EnsureQuantizedHead(int leaf_count) {
+  EnsureHead(leaf_count);
+  if (HasQuantizedHead(leaf_count)) {
+    return;
+  }
+  q_leaf_heads_[leaf_count] = std::make_unique<QuantizedLinear>(*leaf_heads_.at(leaf_count));
+}
+
 bool CdmppPredictor::HasHead(int leaf_count) const {
   return leaf_heads_.find(leaf_count) != leaf_heads_.end();
 }
@@ -451,6 +475,27 @@ std::vector<double> CdmppPredictor::PredictBatched(const AstBatchView& view,
 
 void CdmppPredictor::PredictBatched(const AstBatchView& view, Workspace* ws, double* out,
                                     uint64_t* num_forward_passes) const {
+  PredictBatchedImpl(view, ws, out, num_forward_passes, /*quantized=*/false);
+}
+
+void CdmppPredictor::PredictBatchedQuantized(const AstBatchView& view, Workspace* ws,
+                                             double* out,
+                                             uint64_t* num_forward_passes) const {
+  CDMPP_CHECK_MSG(quantized_ready(),
+                  "int8 serving before PrepareQuantizedInference()");
+  PredictBatchedImpl(view, ws, out, num_forward_passes, /*quantized=*/true);
+}
+
+std::vector<double> CdmppPredictor::PredictBatchedQuantized(
+    const AstBatchView& view, uint64_t* num_forward_passes) const {
+  static thread_local Workspace ws;
+  std::vector<double> out(view.size(), 0.0);
+  PredictBatchedQuantized(view, &ws, out.data(), num_forward_passes);
+  return out;
+}
+
+void CdmppPredictor::PredictBatchedImpl(const AstBatchView& view, Workspace* ws, double* out,
+                                        uint64_t* num_forward_passes, bool quantized) const {
   CDMPP_CHECK(fitted_);
   CDMPP_CHECK(view.asts.size() == view.device_ids.size());
   if (view.size() == 0) {
@@ -478,6 +523,13 @@ void CdmppPredictor::PredictBatched(const AstBatchView& view, Workspace* ws, dou
     auto head_it = leaf_heads_.find(l);
     CDMPP_CHECK_MSG(head_it != leaf_heads_.end(),
                     "no head for this leaf count; call EnsureHead first");
+    const QuantizedLinear* q_head = nullptr;
+    if (quantized) {
+      auto q_it = q_leaf_heads_.find(l);
+      CDMPP_CHECK_MSG(q_it != q_leaf_heads_.end(),
+                      "no quantized head for this leaf count; call EnsureQuantizedHead first");
+      q_head = q_it->second.get();
+    }
 
     ws->Reset();
     Matrix* x = ws->NewMatrix(b * l, kFeatDim);
@@ -486,11 +538,13 @@ void CdmppPredictor::PredictBatched(const AstBatchView& view, Workspace* ws, dou
     Matrix* h = encoder_->ForwardInference(*proj, l, ws);
     Matrix* packed = ws->NewMatrix(b, l * config_.d_model);
     PackRowsInto(*h, b, l, packed);
-    Matrix* zx = head_it->second->ForwardInference(*packed, ws);
+    Matrix* zx = quantized ? q_head->ForwardInference(*packed, ws)
+                           : head_it->second->ForwardInference(*packed, ws);
 
     Matrix* dev = ws->NewMatrix(b, kDeviceFeatDim);
     BuildDeviceFeatureMatrixInto(view, batch, dev);
-    Matrix* zv = device_mlp_->ForwardInference(*dev, ws);
+    Matrix* zv = quantized ? q_device_mlp_->ForwardInference(*dev, ws)
+                           : device_mlp_->ForwardInference(*dev, ws);
 
     Matrix* z = ws->NewMatrix(b, config_.z_dim + config_.device_embed_dim);
     for (int i = 0; i < b; ++i) {
@@ -502,7 +556,8 @@ void CdmppPredictor::PredictBatched(const AstBatchView& view, Workspace* ws, dou
         row[config_.z_dim + j] = zv->At(i, j);
       }
     }
-    Matrix* preds = decoder_->ForwardInference(*z, ws);
+    Matrix* preds = quantized ? q_decoder_->ForwardInference(*z, ws)
+                              : decoder_->ForwardInference(*z, ws);
     for (int i = 0; i < b; ++i) {
       double pred_ms = label_transform_->Inverse(
           ClampTransformed(static_cast<double>(preds->At(i, 0))));

@@ -20,6 +20,7 @@
 #include "src/ml/transforms.h"
 #include "src/nn/loss.h"
 #include "src/nn/optimizer.h"
+#include "src/nn/quantize.h"
 #include "src/nn/transformer.h"
 #include "src/nn/workspace.h"
 
@@ -139,6 +140,43 @@ class CdmppPredictor {
   void PredictBatched(const AstBatchView& view, Workspace* ws, double* out,
                       uint64_t* num_forward_passes = nullptr) const;
 
+  // ---- Int8 quantized serving path (CDMPP_PRECISION=int8) ------------------
+  //
+  // PredictBatchedQuantized is PredictBatched with the Linear/Mlp forwards
+  // routed through the int8 symmetric-quantized kernel tier
+  // (src/nn/quantize.h): the per-leaf-count heads (the largest per-sample
+  // GEMM), the device MLP, and the decoder hiddens run int8 GEMMs with
+  // per-output-channel weight scales and dynamic per-row activation scales.
+  // The transformer encoder stays fp32 (int8 attention is a ROADMAP
+  // follow-on), and so do the two accuracy-critical fringes: the input
+  // projection (its quantization noise feeds the fp32 attention/LayerNorm
+  // stack, which amplifies it, while its GEMM is ~1% of model FLOPs) and the
+  // decoder's final [*, 1] projection (absolute noise there lands directly on
+  // the transformed label under the exponential-tailed inverse Box-Cox).
+  // These exclusions are what hold the <= 1% agreement contract below
+  // (per-stage error measurements drove them — see the design note in
+  // README.md). Same thread-safety
+  // contract as PredictBatched (const, lock-free, reads quantized snapshots
+  // only), and — because activation scales are per row — the same bitwise
+  // batch-size-invariance. Results agree with fp32 to <= 1% relative on the
+  // serving fixtures (tests/serve_test.cc), not bitwise: that is the
+  // precision/throughput trade the int8 tier makes.
+  //
+  // Requires PrepareQuantizedInference() after fitting (and again after any
+  // parameter mutation — the quantized snapshots do not track training), plus
+  // a quantized head for every leaf count served (EnsureQuantizedHead, which
+  // the PredictionService calls under its write lock).
+  void PrepareQuantizedInference();
+  bool quantized_ready() const { return q_decoder_ != nullptr; }
+  bool HasQuantizedHead(int leaf_count) const;
+  // Creates the fp32 head if missing, then its quantized snapshot. Mutating —
+  // serialize against concurrent PredictBatched*/PredictAst calls.
+  void EnsureQuantizedHead(int leaf_count);
+  std::vector<double> PredictBatchedQuantized(const AstBatchView& view,
+                                              uint64_t* num_forward_passes = nullptr) const;
+  void PredictBatchedQuantized(const AstBatchView& view, Workspace* ws, double* out,
+                               uint64_t* num_forward_passes = nullptr) const;
+
   // True once Pretrain has fitted the feature scaler and label transform.
   bool fitted() const { return fitted_; }
   // True if a per-leaf-count head exists for `leaf_count`.
@@ -173,6 +211,11 @@ class CdmppPredictor {
   void RebuildOptimizer();
   void CollectAllParams(std::vector<Param*>* out);
 
+  // Shared serving forward: the fp32 and int8 paths differ only in which
+  // layer snapshots run the Linear/Mlp stages.
+  void PredictBatchedImpl(const AstBatchView& view, Workspace* ws, double* out,
+                          uint64_t* num_forward_passes, bool quantized) const;
+
   BatchForward Forward(const Dataset& ds, const Batch& batch);
   // Backprops d(loss)/d(pred) [B,1] and optionally d(loss)/dz (may be empty).
   void Backward(const Batch& batch, const Matrix& dpred, const Matrix& dz_extra);
@@ -202,6 +245,11 @@ class CdmppPredictor {
   StandardScaler scaler_;
   std::unique_ptr<LabelTransform> label_transform_;
   bool fitted_ = false;
+
+  // Int8 calibrated snapshots (PrepareQuantizedInference / EnsureQuantizedHead).
+  std::map<int, std::unique_ptr<QuantizedLinear>> q_leaf_heads_;
+  std::unique_ptr<QuantizedMlp> q_device_mlp_;
+  std::unique_ptr<QuantizedMlp> q_decoder_;
 
   // Forward caches for Backward.
   int cached_seq_len_ = 0;

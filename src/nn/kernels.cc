@@ -245,7 +245,122 @@ void GemmNTPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int
   }
 }
 
+// Rows [i0, i1) of the quantized product. The inner loop walks one packed
+// pair-row of B (2 * nc adjacent i16s) per reduction pair, accumulating
+// a0*b_lo + a1*b_hi into i32 — the same a-pair-times-channel-pair structure
+// the AVX2 vpmaddwd body uses, so -O3 can auto-vectorize it with pmaddwd.
+// Integer accumulation is exact; the dequant epilogue's mul and add round
+// separately (this TU builds with -ffp-contract=off), matching the AVX2
+// epilogue bitwise.
+void GemmQ8PanelScalar(int64_t i0, int64_t i1, int n, int k2, const int16_t* a, int lda,
+                       const int16_t* b, const Q8Epilogue* ep, int32_t* c32, float* cf,
+                       int ldc) {
+  int32_t acc[kNc];
+  for (int jc = 0; jc < n; jc += kNc) {
+    const int nc = std::min(kNc, n - jc);
+    for (int64_t i = i0; i < i1; ++i) {
+      const int16_t* arow = a + i * lda;
+      for (int j = 0; j < nc; ++j) {
+        acc[j] = 0;
+      }
+      for (int p2 = 0; p2 < k2; ++p2) {
+        const int32_t a0 = arow[2 * p2];
+        const int32_t a1 = arow[2 * p2 + 1];
+        const int16_t* brow = b + (static_cast<int64_t>(p2) * n + jc) * 2;
+        for (int j = 0; j < nc; ++j) {
+          acc[j] += a0 * brow[2 * j] + a1 * brow[2 * j + 1];
+        }
+      }
+      if (ep == nullptr) {
+        int32_t* crow = c32 + i * ldc + jc;
+        for (int j = 0; j < nc; ++j) {
+          crow[j] = acc[j];
+        }
+      } else {
+        const float a_scale = ep->a_scales[i];
+        float* crow = cf + i * ldc + jc;
+        for (int j = 0; j < nc; ++j) {
+          const float cs = a_scale * ep->b_scales[jc + j];
+          float v = static_cast<float>(acc[j]) * cs;
+          if (ep->bias != nullptr) {
+            v += ep->bias[jc + j];
+          }
+          crow[j] = ApplyActivation(v, ep->act);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace detail
+
+namespace {
+
+// Shared dispatch for the two quantized entry points (raw s32 vs fused
+// epilogue): same parallel row-panel seam as the fp32 kernels.
+void GemmQ8Impl(int m, const int16_t* a, int lda, const PackedQ8Weights& w,
+                const detail::Q8Epilogue* ep, int32_t* c32, float* cf, int ldc) {
+  if (m <= 0 || w.n <= 0) {
+    return;
+  }
+#ifdef CDMPP_HAVE_AVX2_KERNELS
+  if (UseAvx2()) {
+    RunPanels(m, w.n, 2 * w.k2, [&](int64_t r0, int64_t r1) {
+      detail::GemmQ8PanelAvx2(r0, r1, w.n, w.k2, a, lda, w.data.data(), ep, c32, cf, ldc);
+    });
+    return;
+  }
+#endif
+  RunPanels(m, w.n, 2 * w.k2, [&](int64_t r0, int64_t r1) {
+    detail::GemmQ8PanelScalar(r0, r1, w.n, w.k2, a, lda, w.data.data(), ep, c32, cf, ldc);
+  });
+}
+
+}  // namespace
+
+void GemmS8S8S32Ref(int m, const int16_t* a, int lda, const PackedQ8Weights& w, int32_t* c,
+                    int ldc) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < w.n; ++j) {
+      int32_t s = 0;
+      for (int p = 0; p < 2 * w.k2; ++p) {
+        s += static_cast<int32_t>(a[static_cast<int64_t>(i) * lda + p]) * w.At(p, j);
+      }
+      c[static_cast<int64_t>(i) * ldc + j] = s;
+    }
+  }
+}
+
+void GemmS8S8S32(int m, const int16_t* a, int lda, const PackedQ8Weights& w, int32_t* c,
+                 int ldc) {
+  GemmQ8Impl(m, a, lda, w, /*ep=*/nullptr, c, nullptr, ldc);
+}
+
+void GemmS8S8BiasActRef(int m, const int16_t* a, int lda, const PackedQ8Weights& w,
+                        const float* a_scales, const float* bias, Activation act, float* c,
+                        int ldc) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < w.n; ++j) {
+      int32_t s = 0;
+      for (int p = 0; p < 2 * w.k2; ++p) {
+        s += static_cast<int32_t>(a[static_cast<int64_t>(i) * lda + p]) * w.At(p, j);
+      }
+      const float cs = a_scales[i] * w.scales[j];
+      float v = static_cast<float>(s) * cs;
+      if (bias != nullptr) {
+        v += bias[j];
+      }
+      c[static_cast<int64_t>(i) * ldc + j] = ApplyActivation(v, act);
+    }
+  }
+}
+
+void GemmS8S8BiasAct(int m, const int16_t* a, int lda, const PackedQ8Weights& w,
+                     const float* a_scales, const float* bias, Activation act, float* c,
+                     int ldc) {
+  detail::Q8Epilogue ep{a_scales, w.scales.data(), bias, act};
+  GemmQ8Impl(m, a, lda, w, &ep, nullptr, c, ldc);
+}
 
 void GemmNNRef(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
                float beta, float* c, int ldc) {

@@ -33,8 +33,19 @@
 //   * The *Ref kernels are the naive triple loops; they are the golden
 //     reference the dispatched kernels are tested against and the baseline
 //     bench_gemm reports speedups over.
+//
+// Besides fp32, the layer ships an int8 symmetric-quantized tier
+// (GemmS8S8S32 / GemmS8S8BiasAct below): weights are quantized once per
+// output channel into the packed PackedQ8Weights format, activations are
+// quantized dynamically with one scale per row (src/nn/quantize.h), and the
+// integer accumulation is exact — so unlike fp32, the quantized kernels are
+// bitwise identical across ISAs, not just within one.
 #ifndef SRC_NN_KERNELS_H_
 #define SRC_NN_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace cdmpp {
 namespace kernels {
@@ -66,6 +77,59 @@ void GemmNT(int m, int n, int k, const float* a, int lda, const float* b, int ld
 // into one pass over C; beta is implicitly 0.
 void GemmBiasAct(int m, int n, int k, const float* a, int lda, const float* b, int ldb,
                  const float* bias, Activation act, float* c, int ldc);
+
+// ---- Int8-weight symmetric-quantized kernels. -------------------------------
+//
+// Symmetric (zero-point 0) integer codes carried in 16-bit lanes: weight
+// codes are int8 ([-127, 127], one scale per output channel); activation
+// codes use the headroom the 16-bit lane gives for free, bounded per layer
+// by ActivationQMax(k) (src/nn/quantize.h) so that the whole reduction
+// provably fits the i32 accumulator: k * qmax_a * 127 <= 2^31 - 1. The AVX2
+// body is built on _mm256_madd_epi16, which multiplies i16 lanes into i32
+// exactly (no saturation anywhere) — pre-VNNI x86 has no non-saturating
+// 8-bit dot product, and the _mm256_maddubs_epi16 sign-trick formulation
+// measured *slower* than the fp32 FMA kernels on the predictor's small-k
+// shapes, while the madd path measures ~2x over them at identical memory
+// traffic for the 16-bit-staged activations. Exact integer accumulation
+// makes the quantized kernels bitwise identical across ISAs, batch sizes,
+// and thread partitions.
+//
+// Weights are packed once at quantization time (src/nn/quantize.h) into the
+// layout the madd kernel consumes directly:
+//   data[(p2 * n + j) * 2 + s] = q_weight(2 * p2 + s, j)
+// i.e. reduction index pairs (2p2, 2p2+1) of output channel j sit in
+// adjacent i16 lanes (one i32 unit per channel), with odd k zero-padded.
+struct PackedQ8Weights {
+  int k = 0;                  // logical reduction length (fp32 weight rows)
+  int n = 0;                  // output channels (fp32 weight cols)
+  int k2 = 0;                 // ceil(k / 2) packed pair-rows
+  std::vector<int16_t> data;  // [k2][n][2] pair-interleaved quantized values
+  std::vector<float> scales;  // [n] per-output-channel dequantization scales
+
+  // Unpacked view for tests/references: quantized weight at (p, j), p < 2*k2.
+  int16_t At(int p, int j) const {
+    return data[(static_cast<size_t>(p / 2) * n + j) * 2 + (p & 1)];
+  }
+};
+
+// C_s32 = A_q · B_q with raw int32 accumulators. A holds quantized rows in
+// 16-bit lanes, lda >= 2 * w.k2 elements between rows with columns
+// [k, 2 * w.k2) zeroed (QuantizeActivationsPerRow guarantees both).
+void GemmS8S8S32Ref(int m, const int16_t* a, int lda, const PackedQ8Weights& w, int32_t* c,
+                    int ldc);
+void GemmS8S8S32(int m, const int16_t* a, int lda, const PackedQ8Weights& w, int32_t* c,
+                 int ldc);
+
+// Fused dequantize+bias+activation epilogue — the quantized Linear forward:
+//   C[i,j] = act(float(s32[i,j]) * (a_scales[i] * w.scales[j]) + bias[j])
+// with the multiply and add rounded separately (no FMA) in every ISA, so the
+// float output is also bitwise identical across ISAs. `bias` may be null.
+void GemmS8S8BiasActRef(int m, const int16_t* a, int lda, const PackedQ8Weights& w,
+                        const float* a_scales, const float* bias, Activation act, float* c,
+                        int ldc);
+void GemmS8S8BiasAct(int m, const int16_t* a, int lda, const PackedQ8Weights& w,
+                     const float* a_scales, const float* bias, Activation act, float* c,
+                     int ldc);
 
 }  // namespace kernels
 }  // namespace cdmpp

@@ -34,6 +34,27 @@ inline float GemmNTDotTail(const float* arow, const float* brow, int k, float be
   return (beta == 0.0f ? 0.0f : beta * c_prev) + s;
 }
 
+// Epilogue descriptor for the quantized panels: null means "store raw s32 to
+// c32", non-null means "dequantize into cf" as
+//   cf[i,j] = act(float(s32) * (a_scales[i] * b_scales[j]) + bias[j])
+// with multiply and add rounded separately (both TUs build with
+// -ffp-contract=off and the AVX2 body uses mul+add, not FMA), so the float
+// results match bitwise across ISAs — integer accumulation is exact anyway.
+struct Q8Epilogue {
+  const float* a_scales;  // [m] per-row activation scales
+  const float* b_scales;  // [n] per-output-channel weight scales
+  const float* bias;      // [n] or null
+  Activation act;
+};
+
+// Quantized panel bodies: rows [i0, i1) of the s32 product over the packed
+// pair-interleaved B layout (see PackedQ8Weights in kernels.h). `k2` is the
+// packed pair count; `b` points at [k2][n][2] i16 data. Exactly one of
+// c32/cf is non-null, selected by `ep`.
+void GemmQ8PanelScalar(int64_t i0, int64_t i1, int n, int k2, const int16_t* a, int lda,
+                       const int16_t* b, const Q8Epilogue* ep, int32_t* c32, float* cf,
+                       int ldc);
+
 // Portable scalar bodies (kernels.cc), written so -O3 can auto-vectorize the
 // contiguous j loops with the baseline ISA.
 void GemmNNPanelScalar(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
@@ -55,6 +76,9 @@ void GemmTNPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int l
                      const float* b, int ldb, float beta, float* c, int ldc);
 void GemmNTPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int lda,
                      const float* b, int ldb, float beta, float* c, int ldc);
+void GemmQ8PanelAvx2(int64_t i0, int64_t i1, int n, int k2, const int16_t* a, int lda,
+                     const int16_t* b, const Q8Epilogue* ep, int32_t* c32, float* cf,
+                     int ldc);
 #endif  // CDMPP_HAVE_AVX2_KERNELS
 
 }  // namespace detail

@@ -92,6 +92,11 @@ class Linear : public Module {
   int in_dim() const { return w_.value.rows(); }
   int out_dim() const { return w_.value.cols(); }
 
+  // Read-only parameter views: the int8 calibration path (src/nn/quantize.h)
+  // snapshots these into packed quantized form.
+  const Matrix& weight() const { return w_.value; }
+  const Matrix& bias() const { return b_.value; }
+
  private:
   // The one fused-kernel invocation all three forward entry points share:
   // y = act(x W + b) written into the caller-sized output.
@@ -147,6 +152,10 @@ class Mlp : public Module {
   Matrix* ForwardInference(const Matrix& x, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
+
+  // Read-only layer views for the int8 calibration path.
+  size_t num_linear_layers() const { return linears_.size(); }
+  const Linear& linear_layer(size_t i) const { return *linears_[i]; }
 
  private:
   std::vector<std::unique_ptr<Linear>> linears_;

@@ -1,0 +1,135 @@
+#include "src/nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+namespace {
+
+// Round-to-nearest (current FP environment: ties to even) into [-qmax, qmax].
+// Symmetric ranges (no -(qmax+1) code) keep the madd-based kernels' overflow
+// analysis a simple magnitude product bound (see kernels.h).
+inline int16_t QuantizeValue(float v, float inv_scale, float qmax) {
+  float scaled = v * inv_scale;
+  if (scaled > qmax) {
+    scaled = qmax;
+  } else if (scaled < -qmax) {
+    scaled = -qmax;
+  }
+  return static_cast<int16_t>(std::lrintf(scaled));
+}
+
+}  // namespace
+
+int ActivationQMax(int k) {
+  // Largest activation code magnitude A such that the whole reduction
+  // provably fits the i32 accumulator: k * A * 127 <= 2^31 - 1 (weight codes
+  // are bounded by 127). Capped at 12 bits: past 4095 the extra codes vanish
+  // under the fp32 rounding of the dequant epilogue. Every predictor shape
+  // (k <= 4096) gets the full 12 bits; the floor of 1 keeps the formula
+  // total for absurd k.
+  const int64_t cap = (static_cast<int64_t>(1) << 31) - 1;
+  const int64_t a = cap / (127 * std::max<int64_t>(k, 1));
+  return static_cast<int>(std::max<int64_t>(1, std::min<int64_t>(a, 4095)));
+}
+
+void QuantizePackWeights(int k, int n, const float* w, int ldw,
+                         kernels::PackedQ8Weights* out) {
+  CDMPP_CHECK(k >= 0 && n >= 0);
+  out->k = k;
+  out->n = n;
+  out->k2 = (k + 1) / 2;
+  out->data.assign(static_cast<size_t>(out->k2) * n * 2, 0);
+  out->scales.assign(static_cast<size_t>(n), 1.0f);
+  for (int j = 0; j < n; ++j) {
+    float absmax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      absmax = std::max(absmax, std::abs(w[static_cast<int64_t>(p) * ldw + j]));
+    }
+    const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    out->scales[static_cast<size_t>(j)] = scale;
+    const float inv_scale = 1.0f / scale;
+    for (int p = 0; p < k; ++p) {
+      out->data[(static_cast<size_t>(p / 2) * n + j) * 2 + (p & 1)] =
+          QuantizeValue(w[static_cast<int64_t>(p) * ldw + j], inv_scale, 127.0f);
+    }
+  }
+}
+
+void QuantizeActivationsPerRow(int rows, int k, const float* x, int ldx, int16_t* q, int ldq,
+                               float* scales) {
+  const int k2 = (k + 1) / 2;
+  CDMPP_CHECK(ldq >= 2 * k2);
+  const float qmax = static_cast<float>(ActivationQMax(k));
+  for (int i = 0; i < rows; ++i) {
+    const float* row = x + static_cast<int64_t>(i) * ldx;
+    float absmax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      absmax = std::max(absmax, std::abs(row[p]));
+    }
+    const float scale = absmax > 0.0f ? absmax / qmax : 1.0f;
+    scales[i] = scale;
+    const float inv_scale = 1.0f / scale;
+    int16_t* qrow = q + static_cast<int64_t>(i) * ldq;
+    for (int p = 0; p < k; ++p) {
+      qrow[p] = QuantizeValue(row[p], inv_scale, qmax);
+    }
+    for (int p = k; p < 2 * k2; ++p) {
+      qrow[p] = 0;  // pad pair: contributes exactly zero to the reduction
+    }
+  }
+}
+
+QuantizedLinear::QuantizedLinear(const Linear& linear) {
+  const Matrix& w = linear.weight();
+  QuantizePackWeights(w.rows(), w.cols(), w.data(), w.cols(), &weights_);
+  const Matrix& b = linear.bias();
+  bias_.assign(b.data(), b.data() + b.size());
+}
+
+Matrix* QuantizedLinear::ForwardInference(const Matrix& x, Workspace* ws,
+                                          kernels::Activation act) const {
+  CDMPP_CHECK(x.cols() == weights_.k);
+  const int m = x.rows();
+  const int ldq = 2 * weights_.k2;
+  int16_t* q = ws->NewI16(static_cast<size_t>(m) * ldq);
+  Matrix* row_scales = ws->NewMatrix(m, 1);
+  QuantizeActivationsPerRow(m, weights_.k, x.data(), x.cols(), q, ldq, row_scales->data());
+  Matrix* y = ws->NewMatrix(m, weights_.n);
+  kernels::GemmS8S8BiasAct(m, q, ldq, weights_, row_scales->data(), bias_.data(), act,
+                           y->data(), y->cols());
+  return y;
+}
+
+QuantizedMlp::QuantizedMlp(const Mlp& mlp, size_t num_fp32_tail_layers) {
+  const size_t total = mlp.num_linear_layers();
+  const size_t tail = std::min(num_fp32_tail_layers, total);
+  layers_.reserve(total - tail);
+  for (size_t i = 0; i < total - tail; ++i) {
+    layers_.emplace_back(mlp.linear_layer(i));
+  }
+  fp32_tail_.reserve(tail);
+  for (size_t i = total - tail; i < total; ++i) {
+    fp32_tail_.push_back(mlp.linear_layer(i));  // calibration-time fp32 copy
+  }
+}
+
+Matrix* QuantizedMlp::ForwardInference(const Matrix& x, Workspace* ws) const {
+  const size_t total = num_layers();
+  const Matrix* h = &x;
+  Matrix* out = nullptr;
+  for (size_t i = 0; i < total; ++i) {
+    const kernels::Activation act =
+        i + 1 < total ? kernels::Activation::kRelu : kernels::Activation::kNone;
+    out = i < layers_.size() ? layers_[i].ForwardInference(*h, ws, act)
+                             : fp32_tail_[i - layers_.size()].ForwardInference(*h, ws, act);
+    h = out;
+  }
+  return out;
+}
+
+}  // namespace cdmpp

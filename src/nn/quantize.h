@@ -1,0 +1,114 @@
+// Int8 symmetric quantization for the inference data plane.
+//
+// Scheme (the serving tier behind CDMPP_PRECISION=int8):
+//   * Weights: int8, quantized once at calibration time, one scale per
+//     OUTPUT CHANNEL (column of W): scale_j = colabsmax_j / 127, values
+//     round-to-nearest into [-127, 127] and packed into the kernel layer's
+//     pair-interleaved PackedQ8Weights layout (src/nn/kernels.h).
+//   * Activations: quantized dynamically at every layer, one scale per ROW
+//     (per sample): scale_i = rowabsmax_i / ActivationQMax(k). Per-row — not
+//     per-batch — scales are deliberate: a row's quantized representation
+//     depends only on that row, so the quantized path keeps the serving
+//     layer's bitwise batch-size-invariance contract
+//     (PredictBatchedQuantized of one request == the same request inside any
+//     batch) that a whole-tensor scale would break, and each sample gets its
+//     own dynamic range for free. The code range is NOT capped at 127: the
+//     madd kernels stage activations in 16-bit lanes either way, so
+//     activation codes use that headroom (12 bits on every predictor shape,
+//     bounded so the i32 accumulator provably cannot overflow) — measurably
+//     tighter accuracy at identical kernel speed and memory traffic.
+//   * Accumulation: exact int32; the fused dequantize+bias+ReLU epilogue
+//     rounds multiply and add separately, so quantized layer outputs are
+//     bitwise identical across kernel ISAs (stronger than the fp32 tier's
+//     ~1e-6 cross-ISA agreement).
+//
+// Accuracy contract: |q*scale - x| <= scale/2 per element (round-to-nearest,
+// pinned by tests/quantize_test.cc); end-to-end the int8 predictor agrees
+// with fp32 to <= 1% relative on the serving fixtures (tests/serve_test.cc).
+//
+// QuantizedLinear/QuantizedMlp are calibrated read-only copies of their fp32
+// layers: construction is mutating-world only, ForwardInference is const and
+// touches no mutable state, so any number of threads may run it concurrently
+// on a shared instance (the PredictionService int8 mode relies on this).
+// Re-quantize after the fp32 parameters change (training, ImportParams).
+#ifndef SRC_NN_QUANTIZE_H_
+#define SRC_NN_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/kernels.h"
+#include "src/nn/layers.h"
+#include "src/nn/matrix.h"
+#include "src/nn/workspace.h"
+
+namespace cdmpp {
+
+// Quantizes + packs a fp32 weight matrix W [k, n] (row-major, ld >= n)
+// symmetric per output channel into the kernel layer's packed layout.
+void QuantizePackWeights(int k, int n, const float* w, int ldw, kernels::PackedQ8Weights* out);
+
+// Activation code magnitude for a reduction of length k: the full headroom
+// the 16-bit madd lanes give for free, bounded so the i32 accumulation
+// provably cannot overflow (k * qmax * 127 <= 2^31 - 1) and capped at 12
+// bits. Every predictor shape (k <= 4096) gets 4095; this is why activations
+// are quantized finer than the int8 weights at identical kernel speed and
+// memory traffic — the i16 lane is paid for either way.
+int ActivationQMax(int k);
+
+// Dynamic per-row symmetric activation quantization: for each of `rows` rows
+// of x (ldx elements apart), writes 2*k2 i16 lanes (ldq >= 2*k2 apart, the
+// [k, 2*k2) pad zeroed) and the row's dequantization scale into scales[i].
+// Zero rows get scale 1 (all-zero quantized values). k2 = ceil(k / 2).
+void QuantizeActivationsPerRow(int rows, int k, const float* x, int ldx, int16_t* q, int ldq,
+                               float* scales);
+
+// y = x W + b with W pre-quantized per output channel and x quantized per row
+// on the fly. A calibrated, immutable snapshot of a fp32 Linear.
+class QuantizedLinear {
+ public:
+  explicit QuantizedLinear(const Linear& linear);
+
+  // Hot path: quantizes x into `ws` scratch and runs the fused
+  // int8-GEMM + dequantize + bias + activation kernel. Output and scratch
+  // live in `ws` (one per thread), valid until its Reset().
+  Matrix* ForwardInference(const Matrix& x, Workspace* ws,
+                           kernels::Activation act = kernels::Activation::kNone) const;
+
+  int in_dim() const { return weights_.k; }
+  int out_dim() const { return weights_.n; }
+  const kernels::PackedQ8Weights& weights() const { return weights_; }
+
+ private:
+  kernels::PackedQ8Weights weights_;
+  std::vector<float> bias_;
+};
+
+// The int8 mirror of Mlp: every Linear quantized, hidden ReLUs fused into the
+// kernel epilogue. Intermediate activations are dequantized to fp32 between
+// layers and re-quantized per row at the next layer (dynamic quantization).
+//
+// `num_fp32_tail_layers` keeps that many trailing Linears in fp32 (copied at
+// calibration time). The predictor's decoder uses 1: its final projection is
+// a [*, 1] GEMM whose absolute quantization noise lands directly on the
+// transformed label — where the exponential-tailed inverse Box-Cox amplifies
+// it — while contributing ~nothing to serving throughput. Keeping the scalar
+// head fp32 is what holds the end-to-end <= 1% agreement contract.
+class QuantizedMlp {
+ public:
+  explicit QuantizedMlp(const Mlp& mlp, size_t num_fp32_tail_layers = 0);
+
+  Matrix* ForwardInference(const Matrix& x, Workspace* ws) const;
+
+  size_t num_layers() const { return layers_.size() + fp32_tail_.size(); }
+  size_t num_quantized_layers() const { return layers_.size(); }
+  const QuantizedLinear& layer(size_t i) const { return layers_[i]; }
+
+ private:
+  std::vector<QuantizedLinear> layers_;
+  std::vector<Linear> fp32_tail_;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_NN_QUANTIZE_H_

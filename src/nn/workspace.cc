@@ -12,9 +12,27 @@ Matrix* Workspace::NewMatrix(int rows, int cols) {
   return m;
 }
 
+int16_t* Workspace::NewI16(size_t n) {
+  if (i16_cursor_ == i16_slots_.size()) {
+    i16_slots_.push_back(std::make_unique<std::vector<int16_t>>());
+  }
+  std::vector<int16_t>* buf = i16_slots_[i16_cursor_].get();
+  ++i16_cursor_;
+  buf->resize(n);  // vector::resize keeps capacity: no heap traffic once warm
+  return buf->data();
+}
+
 size_t Workspace::pooled_floats() const {
   size_t total = 0;
   for (const auto& slot : slots_) {
+    total += slot->capacity();
+  }
+  return total;
+}
+
+size_t Workspace::pooled_i16() const {
+  size_t total = 0;
+  for (const auto& slot : i16_slots_) {
     total += slot->capacity();
   }
   return total;

@@ -17,6 +17,7 @@
 #ifndef SRC_NN_WORKSPACE_H_
 #define SRC_NN_WORKSPACE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -35,18 +36,31 @@ class Workspace {
   // Zero() first); kernels with beta=0 overwrite every element anyway.
   Matrix* NewMatrix(int rows, int cols);
 
+  // Returns an int16 scratch buffer of `n` elements, valid until the next
+  // Reset(). The int8-quantized inference path stages its per-row quantized
+  // activations here (int8-range values in 16-bit lanes — see
+  // src/nn/quantize.h); pooled separately from the Matrix slots but with the
+  // same warm-path guarantee: steady-state passes allocate nothing.
+  int16_t* NewI16(size_t n);
+
   // Rewinds the arena. Pooled buffers (and their float capacity) survive, so
   // the next pass with the same shapes allocates nothing.
-  void Reset() { cursor_ = 0; }
+  void Reset() {
+    cursor_ = 0;
+    i16_cursor_ = 0;
+  }
 
   // Introspection (tests, stats).
   size_t num_slots() const { return slots_.size(); }
   size_t live_slots() const { return cursor_; }
   size_t pooled_floats() const;
+  size_t pooled_i16() const;
 
  private:
   std::vector<std::unique_ptr<Matrix>> slots_;
   size_t cursor_ = 0;
+  std::vector<std::unique_ptr<std::vector<int16_t>>> i16_slots_;
+  size_t i16_cursor_ = 0;
 };
 
 }  // namespace cdmpp

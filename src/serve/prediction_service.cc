@@ -25,6 +25,11 @@ PredictionService::PredictionService(CdmppPredictor* predictor, const ServeOptio
   CDMPP_CHECK(options.num_workers > 0);
   CDMPP_CHECK(options.max_batch_size > 0);
   CDMPP_CHECK(options.batch_window_ms >= 0.0);
+  if (options.precision == Precision::kInt8) {
+    // Calibrate the int8 snapshots from the current fp32 parameters before
+    // any worker exists (single-threaded here, so mutating is safe).
+    predictor->PrepareQuantizedInference();
+  }
   workers_.reserve(static_cast<size_t>(options.num_workers));
   for (int i = 0; i < options.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -168,14 +173,17 @@ void PredictionService::ProcessBatch(std::vector<Request> requests, Workspace* w
     view.asts.push_back(&requests[pos].ast);
     view.device_ids.push_back(requests[pos].device_id);
   }
-  // Rare slow path: create heads for leaf counts training never saw, under
-  // the exclusive lock. EnsureHead re-checks, so racing workers are safe
-  // (and duplicate entries here are harmless).
+  // Rare slow path: create heads (and, in int8 mode, their quantized
+  // snapshots) for leaf counts training never saw, under the exclusive lock.
+  // Ensure* re-checks, so racing workers are safe (and duplicate entries here
+  // are harmless).
+  const bool int8_mode = options_.precision == Precision::kInt8;
   std::vector<int> missing_heads;
   {
     std::shared_lock<std::shared_mutex> lock(model_mu_);
     for (const CompactAst* ast : view.asts) {
-      if (!predictor_->HasHead(ast->num_leaves)) {
+      if (!predictor_->HasHead(ast->num_leaves) ||
+          (int8_mode && !predictor_->HasQuantizedHead(ast->num_leaves))) {
         missing_heads.push_back(ast->num_leaves);
       }
     }
@@ -183,7 +191,11 @@ void PredictionService::ProcessBatch(std::vector<Request> requests, Workspace* w
   if (!missing_heads.empty()) {
     std::unique_lock<std::shared_mutex> lock(model_mu_);
     for (int leaves : missing_heads) {
-      predictor_->EnsureHead(leaves);
+      if (int8_mode) {
+        predictor_->EnsureQuantizedHead(leaves);
+      } else {
+        predictor_->EnsureHead(leaves);
+      }
     }
   }
 
@@ -191,7 +203,11 @@ void PredictionService::ProcessBatch(std::vector<Request> requests, Workspace* w
   uint64_t passes = 0;
   {
     std::shared_lock<std::shared_mutex> lock(model_mu_);
-    predictor_->PredictBatched(view, ws, predictions->data(), &passes);
+    if (int8_mode) {
+      predictor_->PredictBatchedQuantized(view, ws, predictions->data(), &passes);
+    } else {
+      predictor_->PredictBatched(view, ws, predictions->data(), &passes);
+    }
   }
   stats_.RecordForwardPasses(passes, static_cast<uint64_t>(view.size()));
 

@@ -33,11 +33,17 @@
 #include "src/core/predictor.h"
 #include "src/serve/prediction_cache.h"
 #include "src/serve/server_stats.h"
+#include "src/support/cpu_features.h"
 
 namespace cdmpp {
 
 struct ServeOptions {
   int num_workers = 2;
+  // Numeric tier the workers' forward passes run in. kInt8 serves through the
+  // int8 symmetric-quantized kernel path (PredictBatchedQuantized, <= 1%
+  // relative deviation from fp32, ~2x GEMM throughput/core); the default is
+  // taken from the CDMPP_PRECISION environment override (fp32 when unset).
+  Precision precision = DefaultPrecision();
   // Upper bound on requests drained per worker wake-up; buckets inside a
   // drain are additionally chunked to the predictor's config batch size.
   int max_batch_size = 64;
@@ -55,7 +61,9 @@ class PredictionService {
   // `predictor` must be fitted (Pretrain has run) and must outlive the
   // service. The service serializes its own head creation against its
   // forward passes; the caller must not train or mutate the predictor while
-  // the service is running.
+  // the service is running. With options.precision == kInt8 the constructor
+  // calibrates the predictor's int8 snapshots (PrepareQuantizedInference) —
+  // a mutation, so don't construct concurrently with other predictor use.
   PredictionService(CdmppPredictor* predictor, const ServeOptions& options);
   ~PredictionService();
 
@@ -75,7 +83,11 @@ class PredictionService {
   // run by the destructor. Submit must not be called afterwards.
   void Shutdown();
 
-  ServerStatsSnapshot Stats() const { return stats_.Snapshot(); }
+  ServerStatsSnapshot Stats() const {
+    ServerStatsSnapshot s = stats_.Snapshot();
+    s.precision = PrecisionName(options_.precision);
+    return s;
+  }
   const PredictionCache& cache() const { return cache_; }
   const ServeOptions& options() const { return options_; }
 

@@ -47,6 +47,7 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   s.p50_latency_ms = pcts[0];
   s.p99_latency_ms = pcts[1];
   s.kernel_isa = KernelIsaName(ActiveKernelIsa());
+  s.precision = PrecisionName(DefaultPrecision());
   return s;
 }
 
@@ -54,10 +55,12 @@ std::string ServerStatsSnapshot::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%llu reqs in %.3fs (%.0f QPS) | hit rate %.1f%% | "
-                "%llu fwd passes, mean occupancy %.1f | p50 %.3fms p99 %.3fms | isa %s",
+                "%llu fwd passes, mean occupancy %.1f | p50 %.3fms p99 %.3fms | isa %s | "
+                "precision %s",
                 static_cast<unsigned long long>(requests), wall_seconds, qps,
                 cache_hit_rate * 100.0, static_cast<unsigned long long>(forward_passes),
-                mean_batch_occupancy, p50_latency_ms, p99_latency_ms, kernel_isa.c_str());
+                mean_batch_occupancy, p50_latency_ms, p99_latency_ms, kernel_isa.c_str(),
+                precision.c_str());
   return buf;
 }
 

@@ -35,6 +35,11 @@ struct ServerStatsSnapshot {
   // Kernel ISA the data plane dispatches to ("scalar" or "avx2") at snapshot
   // time, so serving numbers are attributable to the code path that ran.
   std::string kernel_isa;
+  // Numeric tier the forwards ran in ("fp32" or "int8"). ServerStats itself
+  // doesn't know the serving mode, so Snapshot() fills in the process default
+  // (CDMPP_PRECISION) and PredictionService::Stats() overrides it with the
+  // service's configured precision.
+  std::string precision;
 
   std::string ToString() const;
 };

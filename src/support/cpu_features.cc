@@ -72,4 +72,26 @@ const char* KernelIsaName(KernelIsa isa) {
   return isa == KernelIsa::kAvx2 ? "avx2" : "scalar";
 }
 
+Precision DefaultPrecision() {
+  static const Precision resolved = [] {
+    if (const char* env = std::getenv("CDMPP_PRECISION")) {
+      if (std::strcmp(env, "int8") == 0) {
+        return Precision::kInt8;
+      }
+      if (std::strcmp(env, "fp32") != 0 && env[0] != '\0') {
+        std::fprintf(stderr,
+                     "cdmpp: unknown CDMPP_PRECISION '%s' (expected fp32|int8); "
+                     "using fp32\n",
+                     env);
+      }
+    }
+    return Precision::kFp32;
+  }();
+  return resolved;
+}
+
+const char* PrecisionName(Precision precision) {
+  return precision == Precision::kInt8 ? "int8" : "fp32";
+}
+
 }  // namespace cdmpp

@@ -44,6 +44,23 @@ bool SetKernelIsa(KernelIsa isa);
 // and ServerStats report.
 const char* KernelIsaName(KernelIsa isa);
 
+// ---- Serving numeric precision (the CDMPP_KERNEL_ISA sibling knob). ---------
+//
+// kFp32 is the default data plane; kInt8 routes serving forwards through the
+// int8 symmetric-quantized kernel tier (src/nn/quantize.h). Unlike the ISA,
+// precision is a per-service choice (ServeOptions::precision), not a global
+// dispatch: DefaultPrecision() only resolves the CDMPP_PRECISION environment
+// override ("fp32" | "int8", read once at first use) that seeds that option —
+// the knob CI's int8 matrix leg and A/B benchmarking use. Unknown values warn
+// on stderr and fall back to fp32.
+enum class Precision { kFp32, kInt8 };
+
+Precision DefaultPrecision();
+
+// "fp32" / "int8" — the spelling CDMPP_PRECISION accepts and the benches and
+// ServerStats report.
+const char* PrecisionName(Precision precision);
+
 }  // namespace cdmpp
 
 #endif  // SRC_SUPPORT_CPU_FEATURES_H_

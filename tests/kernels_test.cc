@@ -17,6 +17,7 @@
 
 #include "src/nn/kernels.h"
 #include "src/nn/matrix.h"
+#include "src/nn/quantize.h"
 #include "src/support/cpu_features.h"
 #include "src/support/rng.h"
 
@@ -282,6 +283,101 @@ TEST(GemmCrossIsaTest, ScalarAndAvx2AgreeWithinFmaRounding) {
         ExpectBitwise(avx2_out[0], scalar_out[0], "cross-ISA GemmNN k=0", s);
         ExpectBitwise(avx2_out[3], scalar_out[3], "cross-ISA GemmBiasAct k=0", s);
       }
+    }
+  }
+}
+
+// ---- Int8 quantized kernels -------------------------------------------------
+//
+// Integer accumulation is exact and the dequant epilogue is pinned to
+// separately rounded mul+add in every ISA, so — unlike fp32 — the quantized
+// kernels are asserted BITWISE against the reference under both ISAs and
+// across ISAs.
+
+struct QuantizedOperands {
+  std::vector<int16_t> a;      // [m, 2*k2] quantized activations
+  std::vector<float> a_scales; // [m]
+  std::vector<float> bias;     // [n]
+  kernels::PackedQ8Weights w;
+  int lda = 0;
+};
+
+QuantizedOperands MakeQuantizedOperands(const Shape& s, Rng* rng) {
+  QuantizedOperands q;
+  auto x = RandomBuffer(static_cast<size_t>(s.m) * std::max(s.k, 1), rng);
+  auto w = RandomBuffer(static_cast<size_t>(std::max(s.k, 1)) * s.n, rng);
+  q.bias = RandomBuffer(static_cast<size_t>(s.n), rng);
+  QuantizePackWeights(s.k, s.n, w.data(), s.n, &q.w);
+  q.lda = 2 * q.w.k2;
+  q.a.assign(static_cast<size_t>(s.m) * std::max(q.lda, 1), 0);
+  q.a_scales.assign(static_cast<size_t>(std::max(s.m, 1)), 1.0f);
+  QuantizeActivationsPerRow(s.m, s.k, x.data(), std::max(s.k, 1), q.a.data(),
+                            std::max(q.lda, 1), q.a_scales.data());
+  return q;
+}
+
+TEST(GemmQuantizedTest, S32MatchesReferenceBitwiseUnderEveryIsa) {
+  ForEachIsa([&] {
+    Rng rng(130);
+    for (const Shape& s : kShapes) {
+      QuantizedOperands q = MakeQuantizedOperands(s, &rng);
+      std::vector<int32_t> c_ref(static_cast<size_t>(s.m) * s.n, -1);
+      std::vector<int32_t> c_opt(static_cast<size_t>(s.m) * s.n, -2);
+      kernels::GemmS8S8S32Ref(s.m, q.a.data(), q.lda, q.w, c_ref.data(), s.n);
+      kernels::GemmS8S8S32(s.m, q.a.data(), q.lda, q.w, c_opt.data(), s.n);
+      for (size_t i = 0; i < c_ref.size(); ++i) {
+        ASSERT_EQ(c_opt[i], c_ref[i]) << "m=" << s.m << " n=" << s.n << " k=" << s.k
+                                      << " at " << i;
+      }
+    }
+  });
+}
+
+TEST(GemmQuantizedTest, FusedEpilogueMatchesReferenceBitwise) {
+  ForEachIsa([&] {
+    Rng rng(131);
+    for (const Shape& s : kShapes) {
+      QuantizedOperands q = MakeQuantizedOperands(s, &rng);
+      for (Activation act : {Activation::kNone, Activation::kRelu}) {
+        for (bool with_bias : {true, false}) {
+          const float* bias = with_bias ? q.bias.data() : nullptr;
+          std::vector<float> c_ref(static_cast<size_t>(s.m) * s.n, -7.0f);
+          std::vector<float> c_opt(static_cast<size_t>(s.m) * s.n, -9.0f);
+          kernels::GemmS8S8BiasActRef(s.m, q.a.data(), q.lda, q.w, q.a_scales.data(), bias,
+                                      act, c_ref.data(), s.n);
+          kernels::GemmS8S8BiasAct(s.m, q.a.data(), q.lda, q.w, q.a_scales.data(), bias, act,
+                                   c_opt.data(), s.n);
+          ExpectBitwise(c_opt, c_ref, act == Activation::kRelu ? "Q8BiasRelu" : "Q8BiasNone",
+                        s);
+        }
+      }
+    }
+  });
+}
+
+TEST(GemmQuantizedTest, ScalarAndAvx2AgreeBitwise) {
+  if (!CpuSupportsAvx2Fma()) {
+    GTEST_SKIP() << "AVX2+FMA not available on this host/build";
+  }
+  Rng rng(132);
+  for (const Shape& s : kShapes) {
+    QuantizedOperands q = MakeQuantizedOperands(s, &rng);
+    std::vector<float> out[2];
+    std::vector<int32_t> out32[2];
+    int idx = 0;
+    for (KernelIsa isa : {KernelIsa::kScalar, KernelIsa::kAvx2}) {
+      ScopedIsa scoped(isa);
+      ASSERT_TRUE(scoped.ok);
+      out[idx].assign(static_cast<size_t>(s.m) * s.n, 0.0f);
+      out32[idx].assign(static_cast<size_t>(s.m) * s.n, 0);
+      kernels::GemmS8S8BiasAct(s.m, q.a.data(), q.lda, q.w, q.a_scales.data(), q.bias.data(),
+                               Activation::kRelu, out[idx].data(), s.n);
+      kernels::GemmS8S8S32(s.m, q.a.data(), q.lda, q.w, out32[idx].data(), s.n);
+      ++idx;
+    }
+    ExpectBitwise(out[1], out[0], "cross-ISA GemmS8S8BiasAct", s);
+    for (size_t i = 0; i < out32[0].size(); ++i) {
+      ASSERT_EQ(out32[1][i], out32[0][i]) << "cross-ISA GemmS8S8S32 at " << i;
     }
   }
 }

@@ -1,0 +1,240 @@
+// Quantization tests: round-trip error bounds of the per-row activation
+// (adaptive code range, ActivationQMax) and per-output-channel int8 weight
+// quantizers, packed-layout integrity, the
+// analytic error bound of a quantized Linear vs its fp32 source, batch-size
+// invariance of the quantized path (per-row scales), and the Workspace i16
+// arena's warm-path reuse.
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/nn/layers.h"
+#include "src/nn/quantize.h"
+#include "src/nn/workspace.h"
+#include "src/support/cpu_features.h"
+#include "src/support/rng.h"
+
+namespace cdmpp {
+namespace {
+
+using kernels::Activation;
+using kernels::PackedQ8Weights;
+
+Matrix RandomMatrix(int rows, int cols, Rng* rng, double scale = 1.0) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng->Normal(0.0, scale));
+  }
+  return m;
+}
+
+TEST(QuantizeActivationsTest, RoundTripErrorIsBoundedByHalfScale) {
+  Rng rng(41);
+  const int rows = 7, k = 37;
+  Matrix x = RandomMatrix(rows, k, &rng, 3.0);
+  const int k2 = (k + 1) / 2;
+  std::vector<int16_t> q(static_cast<size_t>(rows) * 2 * k2, -1);
+  std::vector<float> scales(rows, 0.0f);
+  QuantizeActivationsPerRow(rows, k, x.data(), k, q.data(), 2 * k2, scales.data());
+  const int qmax = ActivationQMax(k);
+  EXPECT_EQ(qmax, 4095);  // every predictor-sized reduction gets 12-bit codes
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_GT(scales[static_cast<size_t>(i)], 0.0f);
+    for (int p = 0; p < k; ++p) {
+      const int16_t qv = q[static_cast<size_t>(i) * 2 * k2 + p];
+      EXPECT_GE(qv, -qmax);
+      EXPECT_LE(qv, qmax);
+      // Round-to-nearest: |q*scale - x| <= scale/2 (+ tiny fp slack).
+      const double err = std::abs(static_cast<double>(qv) * scales[static_cast<size_t>(i)] -
+                                  x.At(i, p));
+      EXPECT_LE(err, 0.5 * scales[static_cast<size_t>(i)] * (1.0 + 1e-5))
+          << "row " << i << " col " << p;
+    }
+    // The odd-k pad lane must be zero (exact zero contribution).
+    EXPECT_EQ(q[static_cast<size_t>(i) * 2 * k2 + k], 0);
+  }
+}
+
+TEST(QuantizeActivationsTest, ZeroRowGetsUnitScaleAndZeroCodes) {
+  const int k = 6;
+  std::vector<float> x(k, 0.0f);
+  std::vector<int16_t> q(k, -1);
+  float scale = 0.0f;
+  QuantizeActivationsPerRow(1, k, x.data(), k, q.data(), k, &scale);
+  EXPECT_EQ(scale, 1.0f);
+  for (int p = 0; p < k; ++p) {
+    EXPECT_EQ(q[static_cast<size_t>(p)], 0);
+  }
+}
+
+TEST(QuantizePackWeightsTest, PerChannelScalesAndPackedLayoutRoundTrip) {
+  Rng rng(42);
+  const int k = 13, n = 9;  // odd k: exercises the pad pair
+  Matrix w = RandomMatrix(k, n, &rng);
+  PackedQ8Weights packed;
+  QuantizePackWeights(k, n, w.data(), n, &packed);
+  EXPECT_EQ(packed.k, k);
+  EXPECT_EQ(packed.n, n);
+  EXPECT_EQ(packed.k2, (k + 1) / 2);
+  for (int j = 0; j < n; ++j) {
+    float absmax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      absmax = std::max(absmax, std::abs(w.At(p, j)));
+    }
+    EXPECT_NEAR(packed.scales[static_cast<size_t>(j)], absmax / 127.0f, 1e-6f);
+    int16_t qmax = 0;
+    for (int p = 0; p < k; ++p) {
+      const int16_t qv = packed.At(p, j);
+      EXPECT_GE(qv, -127);
+      EXPECT_LE(qv, 127);
+      qmax = std::max<int16_t>(qmax, static_cast<int16_t>(std::abs(qv)));
+      const double err = std::abs(static_cast<double>(qv) * packed.scales[static_cast<size_t>(j)] -
+                                  w.At(p, j));
+      EXPECT_LE(err, 0.5 * packed.scales[static_cast<size_t>(j)] * (1.0 + 1e-5));
+    }
+    // The channel absmax must map to (+-)127: the full int8 range is used.
+    EXPECT_EQ(qmax, 127);
+    // Odd-k pad row is zero.
+    EXPECT_EQ(packed.At(k, j), 0);
+  }
+}
+
+// |y_q - y| for one output element is bounded by the propagated per-element
+// quantization errors: sum_p |w| * ex + sum_p |x| * ew + k * ex * ew with
+// ex = a_scale/2 (a_scale = rowabsmax / ActivationQMax(k)), ew = w_scale_j/2.
+// The quantized Linear must sit inside the analytic bound on every element —
+// this is the round-trip error contract of the whole layer, not a tuned
+// tolerance.
+TEST(QuantizedLinearTest, OutputErrorStaysWithinAnalyticBound) {
+  Rng rng(43);
+  const int m = 11, k = 38, n = 17;
+  Linear linear(k, n, &rng);
+  Matrix x = RandomMatrix(m, k, &rng, 2.0);
+
+  Matrix y_fp32 = linear.ForwardInference(x);
+  QuantizedLinear qlinear(linear);
+  Workspace ws;
+  Matrix* y_q = qlinear.ForwardInference(x, &ws);
+  ASSERT_EQ(y_q->rows(), m);
+  ASSERT_EQ(y_q->cols(), n);
+
+  // Recover the per-row activation scales the layer used.
+  const float qmax = static_cast<float>(ActivationQMax(k));
+  std::vector<float> a_scales(m, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    float absmax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      absmax = std::max(absmax, std::abs(x.At(i, p)));
+    }
+    a_scales[static_cast<size_t>(i)] = absmax > 0.0f ? absmax / qmax : 1.0f;
+  }
+  const PackedQ8Weights& packed = qlinear.weights();
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const double ex = 0.5 * a_scales[static_cast<size_t>(i)];
+      const double ew = 0.5 * packed.scales[static_cast<size_t>(j)];
+      double bound = 0.0;
+      for (int p = 0; p < k; ++p) {
+        bound += std::abs(linear.weight().At(p, j)) * ex + std::abs(x.At(i, p)) * ew;
+      }
+      bound += k * ex * ew;
+      bound = bound * (1.0 + 1e-4) + 1e-5;  // fp accumulation slack
+      EXPECT_LE(std::abs(static_cast<double>(y_q->At(i, j)) - y_fp32.At(i, j)), bound)
+          << "element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(QuantizedLinearTest, FusedReluMatchesSeparateRelu) {
+  Rng rng(44);
+  Linear linear(24, 16, &rng);
+  Matrix x = RandomMatrix(5, 24, &rng);
+  QuantizedLinear qlinear(linear);
+  Workspace ws1, ws2;
+  Matrix* fused = qlinear.ForwardInference(x, &ws1, Activation::kRelu);
+  Matrix* plain = qlinear.ForwardInference(x, &ws2, Activation::kNone);
+  for (int i = 0; i < fused->rows(); ++i) {
+    for (int j = 0; j < fused->cols(); ++j) {
+      EXPECT_EQ(fused->At(i, j), std::max(0.0f, plain->At(i, j)));
+    }
+  }
+}
+
+// Per-ROW activation scales make the quantized path batch-size-invariant: a
+// row's quantized representation (and so its output) depends only on that
+// row. This is the property that lets the int8 serving path keep the
+// PredictBatched == PredictAst bitwise contract.
+TEST(QuantizedLinearTest, RowResultsAreBatchSizeInvariantBitwise) {
+  Rng rng(45);
+  const int m = 33, k = 20, n = 31;
+  Linear linear(k, n, &rng);
+  Matrix x = RandomMatrix(m, k, &rng);
+  QuantizedLinear qlinear(linear);
+  for (KernelIsa isa : {KernelIsa::kScalar, KernelIsa::kAvx2}) {
+    const KernelIsa prev = ActiveKernelIsa();
+    if (!SetKernelIsa(isa)) {
+      continue;
+    }
+    Workspace ws;
+    Matrix* full = qlinear.ForwardInference(x, &ws);
+    for (int i = 0; i < m; ++i) {
+      Matrix row(1, k);
+      for (int p = 0; p < k; ++p) {
+        row.At(0, p) = x.At(i, p);
+      }
+      Workspace ws_row;
+      Matrix* alone = qlinear.ForwardInference(row, &ws_row);
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(full->At(i, j), alone->At(0, j))
+            << "isa=" << KernelIsaName(isa) << " row " << i << " col " << j;
+      }
+    }
+    SetKernelIsa(prev);
+  }
+}
+
+TEST(QuantizedMlpTest, TracksFp32MlpClosely) {
+  Rng rng(46);
+  Mlp mlp({30, 24, 16, 1}, &rng);
+  Matrix x = RandomMatrix(9, 30, &rng);
+  Matrix y_fp32 = mlp.ForwardInference(x);
+  QuantizedMlp qmlp(mlp);
+  EXPECT_EQ(qmlp.num_layers(), 3u);
+  Workspace ws;
+  Matrix* y_q = qmlp.ForwardInference(x, &ws);
+  // Stacked quantization noise across three layers on random (untrained,
+  // Xavier-scale) weights: int8 weight rounding dominates (the 12-bit
+  // activation codes contribute ~nothing) and measures well under 2% of the
+  // output range; 2% gives seed-independence headroom without masking real
+  // breakage.
+  double absmax = 1e-12;
+  for (size_t i = 0; i < y_fp32.size(); ++i) {
+    absmax = std::max(absmax, std::abs(static_cast<double>(y_fp32.data()[i])));
+  }
+  for (size_t i = 0; i < y_fp32.size(); ++i) {
+    EXPECT_LE(std::abs(static_cast<double>(y_q->data()[i]) - y_fp32.data()[i]),
+              0.02 * absmax)
+        << "element " << i;
+  }
+}
+
+TEST(WorkspaceTest, I16ArenaReusesBuffersAcrossReset) {
+  Workspace ws;
+  int16_t* a = ws.NewI16(256);
+  ASSERT_NE(a, nullptr);
+  const size_t pooled_after_first = ws.pooled_i16();
+  EXPECT_GE(pooled_after_first, 256u);
+  ws.Reset();
+  // Same slot, same backing allocation: warm path allocates nothing.
+  int16_t* b = ws.NewI16(128);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(ws.pooled_i16(), pooled_after_first);
+  // A second live buffer in the same pass gets its own slot.
+  int16_t* c = ws.NewI16(64);
+  EXPECT_NE(b, c);
+}
+
+}  // namespace
+}  // namespace cdmpp

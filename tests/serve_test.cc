@@ -170,10 +170,29 @@ TEST(PredictBatchedTest, MatchesPredictAstBitwise) {
 
 TEST(ServeTest, ConcurrentSubmitMatchesSingleThreadedPredictor) {
   ServeWorld& w = World();
+  // The bitwise serving contract is per precision: the service must serve
+  // exactly what the active precision's direct single-request forward
+  // computes. Under CDMPP_PRECISION=int8 (the int8 CI leg) that is the
+  // quantized path — which is batch-size-invariant bitwise thanks to its
+  // per-row activation scales, so the same equality holds.
+  const bool int8_mode = DefaultPrecision() == Precision::kInt8;
+  if (int8_mode) {
+    w.predictor->PrepareQuantizedInference();
+    for (const CompactAst& ast : w.workload) {
+      w.predictor->EnsureQuantizedHead(ast.num_leaves);
+    }
+  }
   std::vector<double> expected;
   expected.reserve(w.workload.size());
   for (const CompactAst& ast : w.workload) {
-    expected.push_back(w.predictor->PredictAst(ast, 0));
+    if (int8_mode) {
+      AstBatchView single;
+      single.asts.push_back(&ast);
+      single.device_ids.push_back(0);
+      expected.push_back(w.predictor->PredictBatchedQuantized(single)[0]);
+    } else {
+      expected.push_back(w.predictor->PredictAst(ast, 0));
+    }
   }
 
   ServeOptions opts;
@@ -381,6 +400,83 @@ TEST(PredictBatchedTest, BatchedForwardFasterThanPerRequestForward) {
     single = measure_single(2 * kSamples);
   }
   EXPECT_LT(batched, single);
+}
+
+// ---- Int8 quantized serving ------------------------------------------------
+
+// The int8 accuracy contract (quantize.h): served predictions through the
+// quantized path agree with fp32 to <= 1% relative on the serving fixtures.
+TEST(QuantizedServingTest, Int8PredictorAgreesWithFp32WithinOnePercent) {
+  ServeWorld& w = World();
+  w.predictor->PrepareQuantizedInference();
+  for (const CompactAst& ast : w.workload) {
+    w.predictor->EnsureQuantizedHead(ast.num_leaves);
+  }
+  AstBatchView view;
+  for (const CompactAst& ast : w.workload) {
+    view.asts.push_back(&ast);
+    view.device_ids.push_back(0);
+  }
+  std::vector<double> fp32 = w.predictor->PredictBatched(view);
+  std::vector<double> int8 = w.predictor->PredictBatchedQuantized(view);
+  ASSERT_EQ(int8.size(), fp32.size());
+  for (size_t i = 0; i < fp32.size(); ++i) {
+    ASSERT_GT(fp32[i], 0.0);
+    EXPECT_GT(int8[i], 0.0);
+    EXPECT_LE(std::abs(int8[i] - fp32[i]) / fp32[i], 0.01)
+        << "request " << i << ": int8 " << int8[i] << " vs fp32 " << fp32[i];
+  }
+}
+
+// Per-row activation scales keep the quantized path batch-size-invariant:
+// a request served inside any batch is bitwise what it is served alone.
+TEST(QuantizedServingTest, QuantizedBatchedMatchesQuantizedSingleBitwise) {
+  ServeWorld& w = World();
+  w.predictor->PrepareQuantizedInference();
+  for (const CompactAst& ast : w.workload) {
+    w.predictor->EnsureQuantizedHead(ast.num_leaves);
+  }
+  AstBatchView view;
+  for (const CompactAst& ast : w.workload) {
+    view.asts.push_back(&ast);
+    view.device_ids.push_back(0);
+  }
+  std::vector<double> batched = w.predictor->PredictBatchedQuantized(view);
+  for (size_t i = 0; i < w.workload.size(); ++i) {
+    AstBatchView single;
+    single.asts.push_back(&w.workload[i]);
+    single.device_ids.push_back(0);
+    std::vector<double> alone = w.predictor->PredictBatchedQuantized(single);
+    EXPECT_EQ(batched[i], alone[0]) << "request " << i;  // bitwise-identical
+  }
+}
+
+TEST(QuantizedServingTest, Int8ServiceMatchesDirectQuantizedForward) {
+  ServeWorld& w = World();
+  ServeOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch_size = 32;
+  opts.batch_window_ms = 0.2;
+  opts.enable_cache = false;
+  opts.precision = Precision::kInt8;
+  // The constructor runs PrepareQuantizedInference; missing quantized heads
+  // are created by the workers under the write lock.
+  PredictionService service(w.predictor.get(), opts);
+  std::vector<std::future<double>> futures;
+  for (const CompactAst& ast : w.workload) {
+    futures.push_back(service.Submit(ast, 0));
+  }
+  for (size_t i = 0; i < w.workload.size(); ++i) {
+    AstBatchView single;
+    single.asts.push_back(&w.workload[i]);
+    single.device_ids.push_back(0);
+    const double expected = w.predictor->PredictBatchedQuantized(single)[0];
+    EXPECT_EQ(futures[i].get(), expected) << "request " << i;  // bitwise (per-row scales)
+  }
+  ServerStatsSnapshot stats = service.Stats();
+  EXPECT_EQ(stats.precision, "int8");
+  EXPECT_GT(stats.forward_passes, 0u);
+  EXPECT_NE(stats.ToString().find("precision int8"), std::string::npos);
 }
 
 // ---- ServerStats unit tests ------------------------------------------------
