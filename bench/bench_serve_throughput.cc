@@ -19,6 +19,7 @@
 
 #include "src/serve/prediction_service.h"
 #include "src/support/cpu_features.h"
+#include "src/support/parallel_for.h"
 #include "src/support/table.h"
 #include "src/tir/schedule.h"
 
@@ -177,6 +178,42 @@ int main(int argc, char** argv) {
   std::printf("\nBatched serving: %.2fx the QPS of one-forward-per-request.\n",
               r_batched.qps / r_single.qps);
 
+  // ---- Threads series: batched QPS vs intra-request thread count. ----
+  // The encoder's per-(sample, head) attention blocks and the GEMM row
+  // panels fork across ThreadPool::Global(); this sweep re-runs the batched
+  // workload under private pools of several sizes (the same code path
+  // CDMPP_NUM_THREADS selects at startup) so BENCH_serve.json records how
+  // intra-request parallelism scales on this host. One worker, so the pool
+  // size is the only variable: with concurrent workers, contended regions
+  // fall back to inline serial execution and would confound the series. On
+  // a single-core host threads > 1 just timeshare — expect flat-to-slightly
+  // -worse numbers there.
+  ServeOptions intra = batched;
+  intra.num_workers = 1;
+  struct ThreadsRecord {
+    int threads;
+    RunResult result;
+  };
+  std::vector<ThreadsRecord> threads_records;
+  const std::vector<int> threads_sweep =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+  TablePrinter threads_table({"threads", "QPS (batched)", "p50 (ms)", "p99 (ms)"});
+  for (int threads : threads_sweep) {
+    ThreadPool pool(threads);
+    ThreadPool::SetGlobalForTesting(&pool);
+    RunResult r = RunLoad(&predictor, w, intra, 0);
+    ThreadPool::SetGlobalForTesting(nullptr);
+    threads_table.AddRow({std::to_string(threads), FormatDouble(r.qps, 0),
+                          FormatDouble(r.stats.p50_latency_ms, 3),
+                          FormatDouble(r.stats.p99_latency_ms, 3)});
+    threads_records.push_back({threads, r});
+  }
+  std::printf("\nIntra-request threads series (1 worker, batched, cache disabled):\n");
+  threads_table.Print(stdout);
+  const int default_threads = ThreadPool::Global().num_threads();
+  std::printf("Default pool size on this host: %d (CDMPP_NUM_THREADS overrides).\n",
+              default_threads);
+
   // Machine-readable trajectory record, uploaded by CI next to
   // BENCH_gemm.json. `precision`/`kernel_isa` come from the batched run's
   // snapshot: the code paths that actually served the headline.
@@ -209,6 +246,17 @@ int main(int argc, char** argv) {
                    rec.result.stats.cache_hit_rate, rec.result.stats.mean_batch_occupancy,
                    rec.result.stats.p50_latency_ms, rec.result.stats.p99_latency_ms,
                    i + 1 < sweep_records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"num_threads_default\": %d,\n  \"threads_series\": [\n",
+                 default_threads);
+    for (size_t i = 0; i < threads_records.size(); ++i) {
+      const ThreadsRecord& rec = threads_records[i];
+      std::fprintf(f,
+                   "    {\"threads\": %d, \"qps_batched\": %.2f, "
+                   "\"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                   rec.threads, rec.result.qps, rec.result.stats.p50_latency_ms,
+                   rec.result.stats.p99_latency_ms,
+                   i + 1 < threads_records.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

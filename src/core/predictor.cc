@@ -465,11 +465,14 @@ void CdmppPredictor::EnsureHead(int leaf_count) {
 
 std::vector<double> CdmppPredictor::PredictBatched(const AstBatchView& view,
                                                    uint64_t* num_forward_passes) const {
-  // Thread-local so repeated callers (PredictAst, tests, the replayer) get
-  // the warm-arena fast path without owning a Workspace themselves.
-  static thread_local Workspace ws;
+  // Arena leased from the process-wide pool: repeated callers (PredictAst,
+  // tests, the replayer) share warm arenas with the serving workers and the
+  // batch-row-parallel layer chunks instead of each thread growing a private
+  // one. Checkout never blocks, so this composes with the nested scratch
+  // leases the forward takes internally.
+  WorkspacePool::Lease ws = WorkspacePool::Global().Acquire();
   std::vector<double> out(view.size(), 0.0);
-  PredictBatched(view, &ws, out.data(), num_forward_passes);
+  PredictBatched(view, ws.get(), out.data(), num_forward_passes);
   return out;
 }
 
@@ -488,9 +491,9 @@ void CdmppPredictor::PredictBatchedQuantized(const AstBatchView& view, Workspace
 
 std::vector<double> CdmppPredictor::PredictBatchedQuantized(
     const AstBatchView& view, uint64_t* num_forward_passes) const {
-  static thread_local Workspace ws;
+  WorkspacePool::Lease ws = WorkspacePool::Global().Acquire();
   std::vector<double> out(view.size(), 0.0);
-  PredictBatchedQuantized(view, &ws, out.data(), num_forward_passes);
+  PredictBatchedQuantized(view, ws.get(), out.data(), num_forward_passes);
   return out;
 }
 

@@ -1,23 +1,28 @@
 #include "src/nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "src/support/parallel_for.h"
 
 namespace cdmpp {
 
 namespace {
 
 // Copies the [seq_len, d_head] block for (sample, head) out of a packed
-// [batch * seq_len, d_model] matrix.
-Matrix ExtractBlock(const Matrix& packed, int sample, int head, int seq_len, int d_head) {
-  Matrix out(seq_len, d_head);
+// [batch * seq_len, d_model] matrix into `out` (capacity-preserving resize:
+// the training loops reuse one hoisted block across every (sample, head)
+// instead of churning a heap temporary per iteration).
+void ExtractBlockInto(const Matrix& packed, int sample, int head, int seq_len, int d_head,
+                      Matrix* out) {
+  out->Resize(seq_len, d_head);
   for (int t = 0; t < seq_len; ++t) {
     const float* src = packed.Row(sample * seq_len + t) + head * d_head;
-    float* dst = out.Row(t);
+    float* dst = out->Row(t);
     for (int j = 0; j < d_head; ++j) {
       dst[j] = src[j];
     }
   }
-  return out;
 }
 
 // Adds a [seq_len, d_head] block back into the packed layout.
@@ -56,18 +61,31 @@ Matrix MultiHeadSelfAttention::Forward(const Matrix& x, int seq_len) {
 
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
   Matrix context(x.rows(), d_model_);
-  cached_attn_.assign(static_cast<size_t>(cached_batch_) * num_heads_, Matrix());
+  // resize (not assign) keeps the per-(sample, head) attention matrices'
+  // capacity across steps; softmax weights are computed straight into them.
+  cached_attn_.resize(static_cast<size_t>(cached_batch_) * num_heads_);
+  Matrix q, k, v, out;  // hoisted block scratch, reused across the loop
   for (int b = 0; b < cached_batch_; ++b) {
     for (int h = 0; h < num_heads_; ++h) {
-      Matrix q = ExtractBlock(cached_q_, b, h, seq_len, d_head_);
-      Matrix k = ExtractBlock(cached_k_, b, h, seq_len, d_head_);
-      Matrix v = ExtractBlock(cached_v_, b, h, seq_len, d_head_);
-      Matrix scores = MatMulTransB(q, k);
-      scores.Scale(scale);
-      SoftmaxRows(&scores);
-      Matrix out = MatMul(scores, v);
+      ExtractBlockInto(cached_q_, b, h, seq_len, d_head_, &q);
+      // The 1/sqrt(d_head) softmax scale is folded into the Q operand — one
+      // pass over a [L, d_head] block instead of a [L, L] scores pass. The
+      // inference path pins the identical formulation, so Forward and
+      // ForwardInference stay bitwise equal. cached_q_ stays unscaled;
+      // Backward's dscores.Scale(scale) already accounts for the factor on
+      // both the dq and dk sides.
+      q.Scale(scale);
+      ExtractBlockInto(cached_k_, b, h, seq_len, d_head_, &k);
+      ExtractBlockInto(cached_v_, b, h, seq_len, d_head_, &v);
+      Matrix& attn = cached_attn_[static_cast<size_t>(b) * num_heads_ + h];
+      attn.Resize(seq_len, seq_len);
+      kernels::GemmNT(seq_len, seq_len, d_head_, q.data(), d_head_, k.data(), d_head_,
+                      /*beta=*/0.0f, attn.data(), seq_len);
+      SoftmaxRows(&attn);
+      out.Resize(seq_len, d_head_);
+      kernels::GemmNN(seq_len, d_head_, seq_len, attn.data(), seq_len, v.data(), d_head_,
+                      /*beta=*/0.0f, out.data(), d_head_);
       AccumulateBlock(&context, out, b, h, seq_len, d_head_);
-      cached_attn_[static_cast<size_t>(b) * num_heads_ + h] = std::move(scores);
     }
   }
   return wo_->Forward(context);
@@ -91,26 +109,57 @@ Matrix* MultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len,
   Matrix* k_all = wk_->ForwardInference(x, ws);
   Matrix* v_all = wv_->ForwardInference(x, ws);
 
+  // Softmax scale folded into the Q operand (see Forward).
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  q_all->Scale(scale);
+
   // Every (sample, head) writes its own disjoint [seq_len, d_head] block of
-  // `context`, so no zero-fill or accumulation is needed.
+  // `context`, so no zero-fill or reduction is needed — and the blocks split
+  // across cores. Each chunk leases a scores scratch arena from the global
+  // WorkspacePool (the caller's `ws` stays single-owner); per-element
+  // accumulation order inside each block is fixed by the kernels regardless
+  // of partition, so the output is bitwise identical for every thread count.
+  // Inner GEMMs of forked chunks run inline (nested ParallelFor is serial),
+  // which the kernels' partition-independence keeps bitwise too.
   Matrix* context = ws->NewMatrix(x.rows(), d_model_);
-  Matrix* scores = ws->NewMatrix(seq_len, seq_len);
-  for (int b = 0; b < batch; ++b) {
-    for (int h = 0; h < num_heads_; ++h) {
+  const int64_t blocks = static_cast<int64_t>(batch) * num_heads_;
+  // One chunk of the block loop: scores is that chunk's private scratch; all
+  // other reads/writes are disjoint per block, so the arithmetic is the same
+  // whichever scratch backs it.
+  auto process = [&](Matrix* scores, int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int b = static_cast<int>(i / num_heads_);
+      const int h = static_cast<int>(i % num_heads_);
       const float* q = q_all->Row(b * seq_len) + h * d_head_;
       const float* k = k_all->Row(b * seq_len) + h * d_head_;
       const float* v = v_all->Row(b * seq_len) + h * d_head_;
       float* ctx = context->Row(b * seq_len) + h * d_head_;
-      // scores = Q·Kᵀ directly on the packed layout (lda/ldb = d_model).
-      kernels::GemmNT(seq_len, seq_len, d_head_, q, d_model_, k, d_model_, /*beta=*/0.0f,
-                      scores->data(), seq_len);
-      scores->Scale(scale);
+      // scores = (Q/sqrt(d))·Kᵀ directly on the packed layout
+      // (lda/ldb = d_model).
+      kernels::GemmNT(seq_len, seq_len, d_head_, q, d_model_, k, d_model_,
+                      /*beta=*/0.0f, scores->data(), seq_len);
       SoftmaxRows(scores);
       // context block = softmax(scores)·V, written in place.
       kernels::GemmNN(seq_len, d_head_, seq_len, scores->data(), seq_len, v, d_model_,
                       /*beta=*/0.0f, ctx, d_model_);
     }
+  };
+  // ~2 GEMMs of 2*L*L*d_head flops per block, against the shared fork policy.
+  const double flops =
+      4.0 * static_cast<double>(blocks) * seq_len * static_cast<double>(seq_len) * d_head_;
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.num_threads() > 1 && blocks > 1 && WorthForkingWork(flops)) {
+    // Forked: each chunk leases its scores scratch from the global pool (the
+    // caller's `ws` stays single-owner).
+    pool.ParallelForWithScratch(WorkspacePool::Global(), 0, blocks, ParallelGrain(blocks),
+                                [&](Workspace* scratch, int64_t i0, int64_t i1) {
+                                  process(scratch->NewMatrix(seq_len, seq_len), i0, i1);
+                                });
+  } else {
+    // Serial: scores from the caller's arena, zero synchronization — the
+    // QPS-bound many-worker configuration (CDMPP_NUM_THREADS=1) never
+    // touches the pool mutex.
+    process(ws->NewMatrix(seq_len, seq_len), 0, blocks);
   }
   return wo_->ForwardInference(*context, ws);
 }
@@ -124,20 +173,27 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
   Matrix dk(dy.rows(), d_model_);
   Matrix dv(dy.rows(), d_model_);
 
+  // Hoisted block scratch, reused across every (sample, head).
+  Matrix q, k, v, dout;
+  Matrix dattn, dv_block, dscores, dq_block, dk_block;
   for (int b = 0; b < cached_batch_; ++b) {
     for (int h = 0; h < num_heads_; ++h) {
       const Matrix& attn = cached_attn_[static_cast<size_t>(b) * num_heads_ + h];
-      Matrix q = ExtractBlock(cached_q_, b, h, seq_len, d_head_);
-      Matrix k = ExtractBlock(cached_k_, b, h, seq_len, d_head_);
-      Matrix v = ExtractBlock(cached_v_, b, h, seq_len, d_head_);
-      Matrix dout = ExtractBlock(dcontext, b, h, seq_len, d_head_);
+      ExtractBlockInto(cached_q_, b, h, seq_len, d_head_, &q);
+      ExtractBlockInto(cached_k_, b, h, seq_len, d_head_, &k);
+      ExtractBlockInto(cached_v_, b, h, seq_len, d_head_, &v);
+      ExtractBlockInto(dcontext, b, h, seq_len, d_head_, &dout);
 
       // out = attn x v.
-      Matrix dattn = MatMulTransB(dout, v);
-      Matrix dv_block = MatMulTransA(attn, dout);
+      dattn.Resize(seq_len, seq_len);
+      kernels::GemmNT(seq_len, seq_len, d_head_, dout.data(), d_head_, v.data(), d_head_,
+                      /*beta=*/0.0f, dattn.data(), seq_len);
+      dv_block.Resize(seq_len, d_head_);
+      kernels::GemmTN(seq_len, d_head_, seq_len, attn.data(), seq_len, dout.data(), d_head_,
+                      /*beta=*/0.0f, dv_block.data(), d_head_);
 
       // Softmax backward: ds = attn * (dattn - rowsum(dattn * attn)).
-      Matrix dscores(seq_len, seq_len);
+      dscores.Resize(seq_len, seq_len);
       for (int i = 0; i < seq_len; ++i) {
         float dot = 0.0f;
         for (int j = 0; j < seq_len; ++j) {
@@ -149,9 +205,14 @@ Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {
       }
       dscores.Scale(scale);
 
-      // scores = q x k^T.
-      Matrix dq_block = MatMul(dscores, k);
-      Matrix dk_block = MatMulTransA(dscores, q);
+      // scores = (q * scale) x k^T; cached_q_ is unscaled, the Scale above
+      // carries the factor to both dq and dk.
+      dq_block.Resize(seq_len, d_head_);
+      kernels::GemmNN(seq_len, d_head_, seq_len, dscores.data(), seq_len, k.data(), d_head_,
+                      /*beta=*/0.0f, dq_block.data(), d_head_);
+      dk_block.Resize(seq_len, d_head_);
+      kernels::GemmTN(seq_len, d_head_, seq_len, dscores.data(), seq_len, q.data(), d_head_,
+                      /*beta=*/0.0f, dk_block.data(), d_head_);
 
       AccumulateBlock(&dq, dq_block, b, h, seq_len, d_head_);
       AccumulateBlock(&dk, dk_block, b, h, seq_len, d_head_);

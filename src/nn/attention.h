@@ -25,7 +25,11 @@ class MultiHeadSelfAttention : public Module {
   Matrix ForwardInference(const Matrix& x, int seq_len) const;
   // Hot path: per-head Q/K/V blocks are addressed in place inside the packed
   // [batch*seq_len, d_model] activations via the kernels' leading-dimension
-  // parameters — zero block extraction copies, all scratch from `ws`.
+  // parameters — zero block extraction copies. The per-(sample, head) blocks
+  // split across cores (each writes a disjoint context block; chunks lease
+  // scores scratch from WorkspacePool::Global()), and the output is bitwise
+  // identical for every CDMPP_NUM_THREADS value. Layer-owned scratch comes
+  // from `ws`, which stays single-owner.
   Matrix* ForwardInference(const Matrix& x, int seq_len, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;

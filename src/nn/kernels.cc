@@ -27,17 +27,11 @@ constexpr int kMr = 4;
 // C/B column block: the accumulator tile (kMr x kNc floats) and the active
 // B panel stay resident in L1 while p runs over the full reduction.
 constexpr int kNc = 128;
-// Products below this many flops run serially: the fork/join handshake costs
-// more than the loop. 2*m*n*k for the d_model=64 predictor shapes crosses
-// this around batch 16.
-constexpr double kParallelMinFlops = 256.0 * 1024.0;
 
-// Row-panel chunk size for ParallelFor: ~4 chunks per thread for load
-// balance, aligned to the register tile.
+// Row-panel chunk size: the shared ParallelGrain (~4 chunks per thread)
+// aligned to the register tile.
 int64_t RowGrain(int m) {
-  const int threads = ThreadPool::Global().num_threads();
-  int64_t grain = (static_cast<int64_t>(m) + threads * 4 - 1) / (threads * 4);
-  grain = ((grain + kMr - 1) / kMr) * kMr;
+  const int64_t grain = ((ParallelGrain(m) + kMr - 1) / kMr) * kMr;
   return std::max<int64_t>(grain, kMr);
 }
 
@@ -73,7 +67,7 @@ inline void InitAccRow(float* acc, const float* crow, int nc, float beta) {
 }
 
 bool WorthForking(int m, int n, int k) {
-  return 2.0 * m * n * std::max(k, 1) >= kParallelMinFlops;
+  return WorthForkingWork(2.0 * m * n * std::max(k, 1));
 }
 
 // Runs `panel(i0, i1)` over [0, m), forking across the pool only when the

@@ -77,9 +77,21 @@ Matrix* Relu::ForwardInference(const Matrix& x, Workspace* ws) const {
   Matrix* y = ws->NewMatrix(x.rows(), x.cols());
   const float* src = x.data();
   float* dst = y->data();
-  const size_t total = x.size();
-  for (size_t i = 0; i < total; ++i) {
-    dst[i] = std::max(0.0f, src[i]);
+  const int64_t total = static_cast<int64_t>(x.size());
+  // Elementwise with disjoint writes: the chunk partition cannot change any
+  // value, so splitting across cores keeps the bitwise contract for free. A
+  // clamp is memory-bound — weigh each element at ~4 work units (2 floats
+  // streamed) against the shared fork policy, so only panels too big for one
+  // core's cache fork.
+  auto clamp_range = [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      dst[i] = std::max(0.0f, src[i]);
+    }
+  };
+  if (WorthForkingWork(4.0 * static_cast<double>(total))) {
+    ParallelFor(0, total, ParallelGrain(total), clamp_range);
+  } else {
+    clamp_range(0, total);
   }
   return y;
 }
@@ -169,9 +181,10 @@ void LayerNormRowsInto(const Matrix& x, const float* gamma, const float* beta, f
       }
     }
   };
-  if (static_cast<int64_t>(n) * d >= (1 << 14)) {
-    const int threads = ThreadPool::Global().num_threads();
-    ParallelFor(0, n, std::max<int64_t>(1, n / (threads * 4)), normalize_rows);
+  // ~10 flops per element over the mean/var/normalize passes, against the
+  // shared fork policy.
+  if (WorthForkingWork(10.0 * static_cast<double>(n) * d)) {
+    ParallelFor(0, n, ParallelGrain(n), normalize_rows);
   } else {
     normalize_rows(0, n);
   }

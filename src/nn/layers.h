@@ -112,6 +112,8 @@ class Relu : public Module {
  public:
   Matrix Forward(const Matrix& x);
   Matrix ForwardInference(const Matrix& x) const;
+  // Hot path; large panels split elementwise across cores (bitwise identical
+  // for every thread count — the clamp is elementwise with disjoint writes).
   Matrix* ForwardInference(const Matrix& x, Workspace* ws) const;
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>*) override {}

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "src/support/check.h"
+#include "src/support/parallel_for.h"
 
 namespace cdmpp {
 
@@ -65,22 +66,35 @@ void QuantizeActivationsPerRow(int rows, int k, const float* x, int ldx, int16_t
   const int k2 = (k + 1) / 2;
   CDMPP_CHECK(ldq >= 2 * k2);
   const float qmax = static_cast<float>(ActivationQMax(k));
-  for (int i = 0; i < rows; ++i) {
-    const float* row = x + static_cast<int64_t>(i) * ldx;
-    float absmax = 0.0f;
-    for (int p = 0; p < k; ++p) {
-      absmax = std::max(absmax, std::abs(row[p]));
+  // Rows are independent (per-ROW scale, by design) and every write — codes
+  // and scale — is row-disjoint, so batch rows split across cores without
+  // changing a single value; the quantized epilogue stays bitwise identical
+  // for every thread count.
+  auto quantize_rows = [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = x + i * ldx;
+      float absmax = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        absmax = std::max(absmax, std::abs(row[p]));
+      }
+      const float scale = absmax > 0.0f ? absmax / qmax : 1.0f;
+      scales[i] = scale;
+      const float inv_scale = 1.0f / scale;
+      int16_t* qrow = q + i * ldq;
+      for (int p = 0; p < k; ++p) {
+        qrow[p] = QuantizeValue(row[p], inv_scale, qmax);
+      }
+      for (int p = k; p < 2 * k2; ++p) {
+        qrow[p] = 0;  // pad pair: contributes exactly zero to the reduction
+      }
     }
-    const float scale = absmax > 0.0f ? absmax / qmax : 1.0f;
-    scales[i] = scale;
-    const float inv_scale = 1.0f / scale;
-    int16_t* qrow = q + static_cast<int64_t>(i) * ldq;
-    for (int p = 0; p < k; ++p) {
-      qrow[p] = QuantizeValue(row[p], inv_scale, qmax);
-    }
-    for (int p = k; p < 2 * k2; ++p) {
-      qrow[p] = 0;  // pad pair: contributes exactly zero to the reduction
-    }
+  };
+  // ~8 work units per element (absmax pass + round/clamp/store pass),
+  // against the shared fork policy.
+  if (WorthForkingWork(8.0 * static_cast<double>(rows) * k)) {
+    ParallelFor(0, rows, ParallelGrain(rows), quantize_rows);
+  } else {
+    quantize_rows(0, rows);
   }
 }
 

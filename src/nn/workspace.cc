@@ -38,4 +38,45 @@ size_t Workspace::pooled_i16() const {
   return total;
 }
 
+Workspace* WorkspacePool::Checkout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      Workspace* ws = free_.back();
+      free_.pop_back();
+      ws->Reset();
+      return ws;
+    }
+  }
+  // Growth path: allocate outside the lock (the free list was empty, so no
+  // other thread can hand this arena out before we append it).
+  auto owned = std::make_unique<Workspace>();
+  Workspace* ws = owned.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  arenas_.push_back(std::move(owned));
+  return ws;
+}
+
+void WorkspacePool::Return(Workspace* ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(ws);
+}
+
+WorkspacePool& WorkspacePool::Global() {
+  // Leaked on purpose, like ThreadPool::Global(): leases may be held by
+  // worker threads whose shutdown order vs. static destruction is unknowable.
+  static WorkspacePool* pool = new WorkspacePool();
+  return *pool;
+}
+
+size_t WorkspacePool::num_arenas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arenas_.size();
+}
+
+size_t WorkspacePool::num_free() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
 }  // namespace cdmpp

@@ -1,5 +1,5 @@
 // Workspace: a bump arena of reusable Matrix buffers for the inference hot
-// path.
+// path, plus WorkspacePool: a thread-safe lending library of such arenas.
 //
 // Every ForwardInference(..., Workspace*) overload takes its output and all
 // intermediate tensors from the workspace instead of the heap. Usage:
@@ -14,11 +14,20 @@
 // tests/dataplane_test.cc, which asserts this with a counting allocator).
 // Matrices keep stable addresses across Reset() because slots are pooled
 // behind unique_ptr.
+//
+// A single-owner Workspace stays the fast path. The pool exists for the two
+// places ownership is not one-thread-one-arena: serving workers lease their
+// batch arena for the worker's lifetime, and the batch-row-parallel layers
+// (attention's per-(sample, head) chunks) lease short-lived scratch arenas
+// per ParallelFor chunk. Checkout never blocks — the pool grows on demand —
+// so nested leases (a worker holding its arena while attention chunks lease
+// scratch inside the same forward) cannot deadlock by construction.
 #ifndef SRC_NN_WORKSPACE_H_
 #define SRC_NN_WORKSPACE_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/nn/matrix.h"
@@ -61,6 +70,87 @@ class Workspace {
   size_t cursor_ = 0;
   std::vector<std::unique_ptr<std::vector<int16_t>>> i16_slots_;
   size_t i16_cursor_ = 0;
+};
+
+// Thread-safe checkout/return pool of Workspace arenas.
+//
+// Ownership rules (also in README "Threading model"):
+//   * Checkout() hands out an exclusive, already-Reset() arena. It never
+//     blocks: an empty free list grows the pool instead, which is what makes
+//     nested leases deadlock-free. Returned arenas keep their pooled buffer
+//     capacity, so a pool that has served a shape before hands out warm
+//     arenas and steady-state checkouts allocate nothing.
+//   * Return() must receive exactly the pointers Checkout() handed out, once
+//     each. Prefer the RAII Lease (exception-safe) over manual pairing.
+//   * The free list is LIFO: the most recently returned — cache-hot, already
+//     grown — arena is the next one lent.
+class WorkspacePool {
+ public:
+  WorkspacePool() = default;
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  // Exclusive use until Return(); never blocks (grows the pool on demand).
+  // The arena comes back Reset() but warm.
+  Workspace* Checkout();
+  void Return(Workspace* ws);
+
+  // Move-only RAII lease; returns the arena on destruction (including
+  // unwinding through an exception).
+  class Lease {
+   public:
+    Lease() = default;
+    explicit Lease(WorkspacePool* pool) : pool_(pool), ws_(pool->Checkout()) {}
+    ~Lease() { reset(); }
+    Lease(Lease&& other) noexcept : pool_(other.pool_), ws_(other.ws_) {
+      other.pool_ = nullptr;
+      other.ws_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        reset();
+        pool_ = other.pool_;
+        ws_ = other.ws_;
+        other.pool_ = nullptr;
+        other.ws_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    Workspace* get() const { return ws_; }
+    Workspace* operator->() const { return ws_; }
+    explicit operator bool() const { return ws_ != nullptr; }
+    void reset() {
+      if (ws_ != nullptr) {
+        pool_->Return(ws_);
+        ws_ = nullptr;
+        pool_ = nullptr;
+      }
+    }
+
+   private:
+    WorkspacePool* pool_ = nullptr;
+    Workspace* ws_ = nullptr;
+  };
+  Lease Acquire() { return Lease(this); }
+
+  // Process-wide pool the inference data plane leases from: serving workers,
+  // the convenience PredictBatched overloads, and the batch-row-parallel
+  // layer chunks all share it, so warm arenas migrate to wherever the load
+  // is instead of accumulating per thread.
+  static WorkspacePool& Global();
+
+  // Introspection (tests, stats). num_arenas() - num_free() arenas are
+  // currently checked out.
+  size_t num_arenas() const;
+  size_t num_free() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Workspace>> arenas_;  // ownership, append-only
+  std::vector<Workspace*> free_;                    // LIFO free list
 };
 
 }  // namespace cdmpp

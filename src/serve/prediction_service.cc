@@ -90,9 +90,15 @@ double PredictionService::Predict(const CompactAst& ast, int device_id) {
 }
 
 void PredictionService::WorkerLoop() {
-  // Per-worker arena + output buffer: steady-state forward passes reuse these
-  // across batches instead of touching the heap (src/nn/workspace.h).
-  Workspace ws;
+  // Per-worker arena leased from the process-wide pool for the worker's
+  // lifetime (returned warm at shutdown, so the next service or caller
+  // reuses it), plus a reusable output buffer: steady-state forward passes
+  // touch the heap zero times once warm (src/nn/workspace.h). Intra-request
+  // parallelism inside the forward (batch-row attention chunks) leases
+  // additional scratch from the same pool; checkout grows on demand and
+  // never blocks, so worker-level and per-chunk leases compose without
+  // deadlock.
+  WorkspacePool::Lease ws = WorkspacePool::Global().Acquire();
   std::vector<double> predictions;
   for (;;) {
     std::vector<Request> batch;
@@ -123,7 +129,7 @@ void PredictionService::WorkerLoop() {
         queue_.pop_front();
       }
     }
-    ProcessBatch(std::move(batch), &ws, &predictions);
+    ProcessBatch(std::move(batch), ws.get(), &predictions);
   }
 }
 

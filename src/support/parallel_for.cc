@@ -18,6 +18,9 @@ namespace {
 // ParallelFor calls from such a thread run serially inline.
 thread_local bool tls_in_parallel_region = false;
 
+// Non-null while a test/bench has routed Global() elsewhere.
+std::atomic<ThreadPool*> g_global_override{nullptr};
+
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -128,6 +131,9 @@ int ThreadPool::ResolveNumThreads(const char* env_value, int hardware_threads) {
 }
 
 ThreadPool& ThreadPool::Global() {
+  if (ThreadPool* override_pool = g_global_override.load(std::memory_order_acquire)) {
+    return *override_pool;
+  }
   // Leaked on purpose: worker threads must never outlive their pool, and
   // static destruction order at process exit cannot guarantee that.
   static ThreadPool* pool =
@@ -135,6 +141,12 @@ ThreadPool& ThreadPool::Global() {
                                        static_cast<int>(std::thread::hardware_concurrency())));
   return *pool;
 }
+
+void ThreadPool::SetGlobalForTesting(ThreadPool* pool) {
+  g_global_override.store(pool, std::memory_order_release);
+}
+
+bool ThreadPool::InParallelRegion() { return tls_in_parallel_region; }
 
 void ThreadPool::RunImpl(int64_t begin, int64_t end, int64_t grain,
                          void (*fn)(void*, int64_t, int64_t), void* ctx) {

@@ -16,6 +16,20 @@
 
 namespace cdmpp {
 
+// ---- Shared serial-vs-fork policy for the data-plane loops. -----------------
+//
+// Forking a region costs a fixed wake/join handshake, so small loops run
+// faster inline. Every data-plane loop (GEMM row panels in kernels.cc,
+// attention's per-(sample, head) blocks, the row/elementwise loops in
+// layers.cc and quantize.cc) shares this one threshold instead of inventing
+// its own: call sites pass their estimated work in flop-equivalents
+// (memory-bound loops weight each element by its rough op count), and the
+// constant is tuned in exactly one place. 2*m*n*k for the d_model=64
+// predictor GEMM shapes crosses this around batch 16.
+constexpr double kParallelMinWork = 256.0 * 1024.0;
+
+inline bool WorthForkingWork(double work) { return work >= kParallelMinWork; }
+
 class ThreadPool {
  public:
   // Spawns num_threads - 1 workers; the calling thread participates in every
@@ -28,6 +42,21 @@ class ThreadPool {
 
   // Process-wide pool (created on first use, never destroyed).
   static ThreadPool& Global();
+
+  // Routes Global() to `pool` until called again (nullptr restores the real
+  // global). Test/bench hook: the real global reads CDMPP_NUM_THREADS once
+  // per process, so measuring the data plane under several pool sizes in one
+  // process needs this seam (tests/threading_test.cc, the
+  // bench_serve_throughput threads series). Switch only while no ParallelFor
+  // region is in flight, and clear the override before destroying `pool`.
+  static void SetGlobalForTesting(ThreadPool* pool);
+
+  // True on a thread currently executing chunks of some ParallelFor region
+  // (a pool worker, or the caller driving a region). Nested ParallelFor
+  // calls from such a thread always run inline and serial;
+  // ParallelForWithScratch uses this to lease a single scratch arena in
+  // that case instead of one per would-be chunk.
+  static bool InParallelRegion();
 
   // Resolves the pool size Global() uses from a CDMPP_NUM_THREADS value
   // (may be null) and the detected hardware concurrency. A value that is not
@@ -64,6 +93,72 @@ class ThreadPool {
             const_cast<void*>(static_cast<const void*>(&fn)));
   }
 
+  // Hard cap on the number of chunks ParallelForWithScratch will create; the
+  // grain is raised as needed so the lease table fits on the stack. 4 chunks
+  // per thread up to 64 threads — far past the point where more chunks stop
+  // helping load balance.
+  static constexpr int kMaxScratchChunks = 256;
+
+  // Like ParallelFor, but hands each chunk a private scratch object leased
+  // from `pool`: fn(scratch, chunk_begin, chunk_end). Pool is any type with
+  // `T* Checkout()` / `void Return(T*)` — in practice WorkspacePool
+  // (src/nn/workspace.h); keeping it a template parameter keeps support/
+  // layered below nn/.
+  //
+  // Every lease is checked out by the CALLING thread before the region forks
+  // and chunk j always receives lease j, so which arena serves which chunk
+  // does not depend on thread scheduling: a single-threaded caller repeats
+  // the same checkout sequence every pass, which is what lets a warm pool
+  // serve the whole region without touching the heap (the dataplane
+  // zero-allocation tests rely on this determinism). All leases are returned
+  // even when a chunk body throws. The scratch contents are chunk-private;
+  // callers needing bitwise run-to-run determinism must still keep
+  // per-element output independent of the chunk partition, exactly as with
+  // plain ParallelFor.
+  template <typename Pool, typename Fn>
+  void ParallelForWithScratch(Pool& pool, int64_t begin, int64_t end, int64_t grain,
+                              Fn&& fn) {
+    if (begin >= end) {
+      return;
+    }
+    grain = grain < 1 ? 1 : grain;
+    int64_t num_chunks = (end - begin + grain - 1) / grain;
+    if (num_chunks > kMaxScratchChunks) {
+      grain = (end - begin + kMaxScratchChunks - 1) / kMaxScratchChunks;
+      num_chunks = (end - begin + grain - 1) / grain;
+    }
+    // A single-thread pool or a nested call is guaranteed to run inline as
+    // one chunk (same conditions RunImpl checks): don't lease scratch that
+    // cannot be used. (A region that falls back to inline because another
+    // thread holds the pool is only discovered inside RunImpl; that rarer
+    // case pays for its unused leases.)
+    if (num_threads_ == 1 || InParallelRegion()) {
+      grain = end - begin;
+      num_chunks = 1;
+    }
+    using Scratch = typename std::remove_pointer<decltype(pool.Checkout())>::type;
+    Scratch* scratch[kMaxScratchChunks];
+    struct Returner {
+      Pool& pool;
+      Scratch** scratch;
+      int64_t n = 0;
+      ~Returner() {
+        for (int64_t i = 0; i < n; ++i) {
+          pool.Return(scratch[i]);
+        }
+      }
+    } returner{pool, scratch};
+    for (int64_t i = 0; i < num_chunks; ++i) {
+      scratch[i] = pool.Checkout();
+      returner.n = i + 1;
+    }
+    // Chunks are claimed at begin + j*grain exactly (RunImpl advances a
+    // shared cursor by `grain`), so the chunk index below is total.
+    ParallelFor(begin, end, grain, [&](int64_t b, int64_t e) {
+      fn(scratch[(b - begin) / grain], b, e);
+    });
+  }
+
  private:
   struct Impl;
 
@@ -78,6 +173,14 @@ class ThreadPool {
 template <typename Fn>
 void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   ThreadPool::Global().ParallelFor(begin, end, grain, std::forward<Fn>(fn));
+}
+
+// Load-balance grain over `n` items: ~4 chunks per global-pool thread
+// (clamped to >= 1). The kernel row panels further align this to their
+// register tile; everyone else uses it as-is.
+inline int64_t ParallelGrain(int64_t n) {
+  const int64_t chunks = static_cast<int64_t>(ThreadPool::Global().num_threads()) * 4;
+  return n <= chunks ? 1 : (n + chunks - 1) / chunks;
 }
 
 }  // namespace cdmpp

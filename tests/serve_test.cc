@@ -15,10 +15,27 @@
 
 #include "src/serve/prediction_service.h"
 #include "src/support/cpu_features.h"
+#include "src/support/parallel_for.h"
 #include "src/tir/schedule.h"
 
 namespace cdmpp {
 namespace {
+
+// Wall-clock comparisons measure batching, not scheduler thrash: when the
+// global pool is oversubscribed (CDMPP_NUM_THREADS above the core count —
+// e.g. the thread-count invariance configurations, which care about values,
+// not speed), forked regions add context-switch noise that can randomly
+// flip ~ms margins. The timing tests pin themselves to a pool no larger
+// than the hardware for the duration of the measurement.
+struct ScopedTimingPool {
+  ScopedTimingPool()
+      : pool(std::min(ThreadPool::Global().num_threads(),
+                      std::max(1, static_cast<int>(std::thread::hardware_concurrency())))) {
+    ThreadPool::SetGlobalForTesting(&pool);
+  }
+  ~ScopedTimingPool() { ThreadPool::SetGlobalForTesting(nullptr); }
+  ThreadPool pool;
+};
 
 // ---- Cache unit tests ------------------------------------------------------
 
@@ -285,6 +302,7 @@ TEST(ServeTest, DuplicateInFlightRequestsCoalesce) {
 }
 
 TEST(ServeTest, BatchingDeliversHigherQpsThanBatchSizeOne) {
+  ScopedTimingPool timing_pool;
   ServeWorld& w = World();
   // Same workload, replayed against a batching service and a batch-size-1
   // service. Repeats give the batched path coalescing-free volume (distinct
@@ -356,6 +374,7 @@ TEST(ServeTest, BatchingDeliversHigherQpsThanBatchSizeOne) {
 TEST(PredictBatchedTest, BatchedForwardFasterThanPerRequestForward) {
   // The worker-side view of the same claim, free of queueing and scheduling
   // noise: one batched forward over the workload vs one forward per request.
+  ScopedTimingPool timing_pool;
   ServeWorld& w = World();
   AstBatchView view;
   for (const CompactAst& ast : w.workload) {
