@@ -6,6 +6,7 @@
 
 #include "src/ml/cmd.h"
 #include "src/ml/transforms.h"
+#include "src/obs/trace.h"
 #include "src/support/check.h"
 #include "src/support/stats.h"
 
@@ -534,38 +535,67 @@ void CdmppPredictor::PredictBatchedImpl(const AstBatchView& view, Workspace* ws,
       q_head = q_it->second.get();
     }
 
+    // Per-stage trace spans (no-ops unless the serving layer sampled this
+    // batch and bound a Trace to the calling thread). Pure timing on the
+    // calling thread: the data plane below is untouched, so the bitwise
+    // thread-count/batch-size invariance contracts hold with tracing on.
     ws->Reset();
     Matrix* x = ws->NewMatrix(b * l, kFeatDim);
-    BuildFeatureMatrixInto(view, batch, scaler, config_.use_pe, config_.pe_theta, x);
-    Matrix* proj = input_proj_->ForwardInference(*x, ws);
-    Matrix* h = encoder_->ForwardInference(*proj, l, ws);
-    Matrix* packed = ws->NewMatrix(b, l * config_.d_model);
-    PackRowsInto(*h, b, l, packed);
-    Matrix* zx = quantized ? q_head->ForwardInference(*packed, ws)
-                           : head_it->second->ForwardInference(*packed, ws);
-
-    Matrix* dev = ws->NewMatrix(b, kDeviceFeatDim);
-    BuildDeviceFeatureMatrixInto(view, batch, dev);
-    Matrix* zv = quantized ? q_device_mlp_->ForwardInference(*dev, ws)
-                           : device_mlp_->ForwardInference(*dev, ws);
-
-    Matrix* z = ws->NewMatrix(b, config_.z_dim + config_.device_embed_dim);
-    for (int i = 0; i < b; ++i) {
-      float* row = z->Row(i);
-      for (int j = 0; j < config_.z_dim; ++j) {
-        row[j] = zx->At(i, j);
-      }
-      for (int j = 0; j < config_.device_embed_dim; ++j) {
-        row[config_.z_dim + j] = zv->At(i, j);
-      }
+    {
+      obs::ScopedSpan span(obs::Stage::kFeaturize);
+      BuildFeatureMatrixInto(view, batch, scaler, config_.use_pe, config_.pe_theta, x);
     }
-    Matrix* preds = quantized ? q_decoder_->ForwardInference(*z, ws)
-                              : decoder_->ForwardInference(*z, ws);
-    for (int i = 0; i < b; ++i) {
-      double pred_ms = label_transform_->Inverse(
-          ClampTransformed(static_cast<double>(preds->At(i, 0))));
-      out[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])] =
-          pred_ms / kSecondsToMs;
+    Matrix* h = nullptr;
+    {
+      obs::ScopedSpan span(obs::Stage::kEncoder);
+      Matrix* proj = input_proj_->ForwardInference(*x, ws);
+      h = encoder_->ForwardInference(*proj, l, ws);
+    }
+    Matrix* zx = nullptr;
+    {
+      obs::ScopedSpan span(obs::Stage::kHeads);
+      Matrix* packed = ws->NewMatrix(b, l * config_.d_model);
+      PackRowsInto(*h, b, l, packed);
+      zx = quantized ? q_head->ForwardInference(*packed, ws)
+                     : head_it->second->ForwardInference(*packed, ws);
+    }
+
+    Matrix* zv = nullptr;
+    {
+      obs::ScopedSpan span(obs::Stage::kDeviceMlp);
+      Matrix* dev = ws->NewMatrix(b, kDeviceFeatDim);
+      BuildDeviceFeatureMatrixInto(view, batch, dev);
+      zv = quantized ? q_device_mlp_->ForwardInference(*dev, ws)
+                     : device_mlp_->ForwardInference(*dev, ws);
+    }
+
+    Matrix* preds = nullptr;
+    {
+      obs::ScopedSpan span(obs::Stage::kDecoder);
+      Matrix* z = ws->NewMatrix(b, config_.z_dim + config_.device_embed_dim);
+      for (int i = 0; i < b; ++i) {
+        float* row = z->Row(i);
+        for (int j = 0; j < config_.z_dim; ++j) {
+          row[j] = zx->At(i, j);
+        }
+        for (int j = 0; j < config_.device_embed_dim; ++j) {
+          row[config_.z_dim + j] = zv->At(i, j);
+        }
+      }
+      preds = quantized ? q_decoder_->ForwardInference(*z, ws)
+                        : decoder_->ForwardInference(*z, ws);
+    }
+    {
+      // "Dequant" in the serving sense: map the transformed model output back
+      // to seconds. (The int8 GEMM dequant epilogues are fused in-kernel and
+      // accounted to their host stage.)
+      obs::ScopedSpan span(obs::Stage::kDequant);
+      for (int i = 0; i < b; ++i) {
+        double pred_ms = label_transform_->Inverse(
+            ClampTransformed(static_cast<double>(preds->At(i, 0))));
+        out[static_cast<size_t>(batch.sample_indices[static_cast<size_t>(i)])] =
+            pred_ms / kSecondsToMs;
+      }
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/support/parallel_for.h"
 
 namespace cdmpp {
@@ -100,6 +101,11 @@ Matrix MultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len) co
 
 Matrix* MultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len,
                                                  Workspace* ws) const {
+  // Whole-call wall time on the calling thread, forked chunks included — the
+  // span never reaches into the parallel region, so chunk scheduling and the
+  // bitwise thread-count invariance are unaffected. No-op unless the serving
+  // layer bound a sampled trace to this thread.
+  obs::ScopedSpan span(obs::Stage::kAttention);
   CDMPP_CHECK(seq_len > 0);
   CDMPP_CHECK(x.rows() % seq_len == 0);
   CDMPP_CHECK(x.cols() == d_model_);

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "src/nn/kernels_internal.h"
+#include "src/obs/metrics.h"
 #include "src/support/cpu_features.h"
 #include "src/support/parallel_for.h"
 
@@ -70,6 +71,32 @@ bool WorthForking(int m, int n, int k) {
   return WorthForkingWork(2.0 * m * n * std::max(k, 1));
 }
 
+// Data-plane event counters: every dispatched GEMM bumps a calls counter and
+// a flops counter named by precision and the ISA it dispatched to, so a
+// metrics snapshot attributes compute volume to the code path that ran it.
+// Registry references resolve once (function-local statics, initialized on
+// the warm-up pass); each call is then two sharded relaxed adds — invisible
+// next to the smallest kernel invocation.
+void CountGemm(bool int8, int m, int n, int k) {
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const calls[2][2] = {
+      {&registry.GetCounter("gemm.calls.fp32.scalar"),
+       &registry.GetCounter("gemm.calls.fp32.avx2")},
+      {&registry.GetCounter("gemm.calls.int8.scalar"),
+       &registry.GetCounter("gemm.calls.int8.avx2")},
+  };
+  static obs::Counter* const flops[2][2] = {
+      {&registry.GetCounter("gemm.flops.fp32.scalar"),
+       &registry.GetCounter("gemm.flops.fp32.avx2")},
+      {&registry.GetCounter("gemm.flops.int8.scalar"),
+       &registry.GetCounter("gemm.flops.int8.avx2")},
+  };
+  const int avx2 = ActiveKernelIsa() == KernelIsa::kAvx2 ? 1 : 0;
+  calls[int8 ? 1 : 0][avx2]->Add(1);
+  flops[int8 ? 1 : 0][avx2]->Add(2ull * static_cast<uint64_t>(m) * static_cast<uint64_t>(n) *
+                                 static_cast<uint64_t>(std::max(k, 1)));
+}
+
 // Runs `panel(i0, i1)` over [0, m), forking across the pool only when the
 // product is big enough to pay for it.
 template <typename Panel>
@@ -90,6 +117,7 @@ void GemmNNImpl(int m, int n, int k, const float* a, int lda, const float* b, in
   if (m <= 0 || n <= 0) {
     return;
   }
+  CountGemm(/*int8=*/false, m, n, k);
 #ifdef CDMPP_HAVE_AVX2_KERNELS
   if (UseAvx2()) {
     RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
@@ -297,6 +325,7 @@ void GemmQ8Impl(int m, const int16_t* a, int lda, const PackedQ8Weights& w,
   if (m <= 0 || w.n <= 0) {
     return;
   }
+  CountGemm(/*int8=*/true, m, w.n, 2 * w.k2);
 #ifdef CDMPP_HAVE_AVX2_KERNELS
   if (UseAvx2()) {
     RunPanels(m, w.n, 2 * w.k2, [&](int64_t r0, int64_t r1) {
@@ -405,6 +434,7 @@ void GemmTN(int m, int n, int k, const float* a, int lda, const float* b, int ld
   if (m <= 0 || n <= 0) {
     return;
   }
+  CountGemm(/*int8=*/false, m, n, k);
 #ifdef CDMPP_HAVE_AVX2_KERNELS
   if (UseAvx2()) {
     RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {
@@ -423,6 +453,7 @@ void GemmNT(int m, int n, int k, const float* a, int lda, const float* b, int ld
   if (m <= 0 || n <= 0) {
     return;
   }
+  CountGemm(/*int8=*/false, m, n, k);
 #ifdef CDMPP_HAVE_AVX2_KERNELS
   if (UseAvx2()) {
     RunPanels(m, n, k, [&](int64_t r0, int64_t r1) {

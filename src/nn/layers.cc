@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/support/parallel_for.h"
 
 namespace cdmpp {
@@ -199,6 +200,9 @@ Matrix LayerNorm::ForwardInference(const Matrix& x) const {
 }
 
 Matrix* LayerNorm::ForwardInference(const Matrix& x, Workspace* ws) const {
+  // Nests under the encoder span when a sampled trace is bound; no-op (one
+  // thread-local load) otherwise.
+  obs::ScopedSpan span(obs::Stage::kLayerNorm);
   Matrix* y = ws->NewMatrix(x.rows(), x.cols());
   LayerNormRowsInto(x, gamma_.value.Row(0), beta_.value.Row(0), kEps, y);
   return y;

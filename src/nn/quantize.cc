@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/obs/trace.h"
 #include "src/support/check.h"
 #include "src/support/parallel_for.h"
 
@@ -112,7 +113,12 @@ Matrix* QuantizedLinear::ForwardInference(const Matrix& x, Workspace* ws,
   const int ldq = 2 * weights_.k2;
   int16_t* q = ws->NewI16(static_cast<size_t>(m) * ldq);
   Matrix* row_scales = ws->NewMatrix(m, 1);
-  QuantizeActivationsPerRow(m, weights_.k, x.data(), x.cols(), q, ldq, row_scales->data());
+  {
+    // The dequant half is fused into the GEMM epilogue below and accounted
+    // to the enclosing stage; activation quantization is the separable part.
+    obs::ScopedSpan span(obs::Stage::kQuantize);
+    QuantizeActivationsPerRow(m, weights_.k, x.data(), x.cols(), q, ldq, row_scales->data());
+  }
   Matrix* y = ws->NewMatrix(m, weights_.n);
   kernels::GemmS8S8BiasAct(m, q, ldq, weights_, row_scales->data(), bias_.data(), act,
                            y->data(), y->cols());

@@ -1,6 +1,24 @@
 #include "src/nn/workspace.h"
 
+#include "src/obs/metrics.h"
+
 namespace cdmpp {
+
+namespace {
+
+// Pool traffic counters: checkouts tell how much per-chunk scratch the data
+// plane leases; growths > num-threads-ish after warm-up means arenas are
+// leaking or the workload keeps outgrowing the pool.
+obs::Counter& CheckoutCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("workspace_pool.checkouts");
+  return c;
+}
+obs::Counter& GrowthCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter("workspace_pool.growths");
+  return c;
+}
+
+}  // namespace
 
 Matrix* Workspace::NewMatrix(int rows, int cols) {
   if (cursor_ == slots_.size()) {
@@ -39,6 +57,7 @@ size_t Workspace::pooled_i16() const {
 }
 
 Workspace* WorkspacePool::Checkout() {
+  CheckoutCounter().Add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!free_.empty()) {
@@ -50,6 +69,7 @@ Workspace* WorkspacePool::Checkout() {
   }
   // Growth path: allocate outside the lock (the free list was empty, so no
   // other thread can hand this arena out before we append it).
+  GrowthCounter().Add();
   auto owned = std::make_unique<Workspace>();
   Workspace* ws = owned.get();
   std::lock_guard<std::mutex> lock(mu_);

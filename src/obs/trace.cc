@@ -1,0 +1,186 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdmpp {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kBatchFormation:
+      return "batch_formation";
+    case Stage::kCacheLookup:
+      return "cache_lookup";
+    case Stage::kForward:
+      return "forward";
+    case Stage::kFeaturize:
+      return "featurize";
+    case Stage::kQuantize:
+      return "quantize";
+    case Stage::kEncoder:
+      return "encoder";
+    case Stage::kAttention:
+      return "attention";
+    case Stage::kLayerNorm:
+      return "layer_norm";
+    case Stage::kHeads:
+      return "heads";
+    case Stage::kDeviceMlp:
+      return "device_mlp";
+    case Stage::kDecoder:
+      return "decoder";
+    case Stage::kDequant:
+      return "dequant";
+    case Stage::kFinalize:
+      return "finalize";
+    case Stage::kNumStages:
+      break;
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+TraceContext*& CurrentTraceContext() {
+  thread_local TraceContext* ctx = nullptr;
+  return ctx;
+}
+
+}  // namespace detail
+
+ScopedTraceBinding::ScopedTraceBinding(Trace* trace) {
+  if (trace == nullptr) {
+    return;
+  }
+  ctx_.trace = trace;
+  detail::TraceContext*& current = detail::CurrentTraceContext();
+  prev_ = current;
+  current = &ctx_;
+  active_ = true;
+}
+
+ScopedTraceBinding::~ScopedTraceBinding() {
+  if (active_) {
+    detail::CurrentTraceContext() = prev_;
+  }
+}
+
+void RequestTrace::AddSegment(Stage stage, double ms) {
+  spans.push_back(SpanRecord{stage, 0, ms, ms});
+  stage_ms[static_cast<size_t>(stage)] += ms;
+}
+
+void RequestTrace::AppendSpans(const Trace& trace) {
+  spans.insert(spans.end(), trace.spans().begin(), trace.spans().end());
+  for (const SpanRecord& span : trace.spans()) {
+    stage_ms[static_cast<size_t>(span.stage)] += span.exclusive_ms;
+  }
+}
+
+double RequestTrace::AttributedMs() const {
+  double sum = 0.0;
+  for (double ms : stage_ms) {
+    sum += ms;
+  }
+  return sum;
+}
+
+double RequestTrace::AttributedFraction() const {
+  if (total_ms <= 0.0) {
+    return 1.0;
+  }
+  // Clock granularity can make the parts sum past the whole by a hair.
+  const double fraction = AttributedMs() / total_ms;
+  return fraction > 1.0 ? 1.0 : fraction;
+}
+
+TraceCollector::TraceCollector() {
+  const char* env = std::getenv("CDMPP_TRACE_SAMPLE");
+  if (env == nullptr || env[0] == '\0') {
+    return;
+  }
+  char* endp = nullptr;
+  const long v = std::strtol(env, &endp, 10);
+  if (endp == env || *endp != '\0' || v < 0) {
+    std::fprintf(stderr,
+                 "[cdmpp.obs] ignoring malformed CDMPP_TRACE_SAMPLE=\"%s\" "
+                 "(want a non-negative integer); tracing stays off\n",
+                 env);
+    return;
+  }
+  sample_every_.store(static_cast<int>(v > 1 << 30 ? 1 << 30 : v), std::memory_order_relaxed);
+}
+
+TraceCollector& TraceCollector::Global() {
+  // Leaked on purpose, like the other process-wide singletons.
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+void TraceCollector::Emit(RequestTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.traces += 1;
+  stats_.total_ms += trace.total_ms;
+  stats_.attributed_ms += trace.AttributedMs() > trace.total_ms && trace.total_ms > 0.0
+                              ? trace.total_ms
+                              : trace.AttributedMs();
+  for (int s = 0; s < kNumStages; ++s) {
+    stats_.stage_ms[static_cast<size_t>(s)] += trace.stage_ms[static_cast<size_t>(s)];
+  }
+  recent_.push_back(std::move(trace));
+  if (recent_.size() > kRecentCapacity) {
+    recent_.pop_front();
+  }
+}
+
+TraceCollector::Stats TraceCollector::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<RequestTrace> TraceCollector::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RequestTrace>(recent_.begin(), recent_.end());
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats();
+  recent_.clear();
+}
+
+std::string TraceCollector::DumpJson() const {
+  Stats stats = GetStats();
+  char buf[128];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf), "\"sample_every\": %d, \"traces\": %llu, ", sample_every(),
+                static_cast<unsigned long long>(stats.traces));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "\"attributed_fraction\": %.4f, ",
+                stats.AttributedFraction());
+  out += buf;
+  out += "\"stages\": {";
+  bool first = true;
+  for (int s = 0; s < kNumStages; ++s) {
+    const double total = stats.stage_ms[static_cast<size_t>(s)];
+    if (total <= 0.0) {
+      continue;
+    }
+    const double mean = stats.traces > 0 ? total / static_cast<double>(stats.traces) : 0.0;
+    const double share = stats.total_ms > 0.0 ? total / stats.total_ms : 0.0;
+    std::snprintf(buf, sizeof(buf),
+                  "\"%s\": {\"total_ms\": %.4f, \"mean_ms\": %.6f, \"share\": %.4f}",
+                  StageName(static_cast<Stage>(s)), total, mean, share);
+    out += first ? "" : ", ";
+    out += buf;
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cdmpp

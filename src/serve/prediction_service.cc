@@ -1,6 +1,7 @@
 #include "src/serve/prediction_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 
 #include "src/support/check.h"
@@ -12,6 +13,11 @@ namespace {
 double MsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+double MsBetween(std::chrono::steady_clock::time_point t0,
+                 std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
 }  // namespace
@@ -34,6 +40,9 @@ PredictionService::PredictionService(CdmppPredictor* predictor, const ServeOptio
   for (int i = 0; i < options.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  if (options.stats_log_interval_s > 0.0) {
+    logger_ = std::thread([this] { StatsLoggerLoop(); });
+  }
 }
 
 PredictionService::~PredictionService() { Shutdown(); }
@@ -51,12 +60,41 @@ void PredictionService::Shutdown() {
     worker.join();
   }
   workers_.clear();
+  if (logger_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(logger_mu_);
+      logger_stop_ = true;
+    }
+    logger_cv_.notify_all();
+    logger_.join();
+  }
+}
+
+void PredictionService::StatsLoggerLoop() {
+  ServerStatsSnapshot prev = Stats();
+  std::unique_lock<std::mutex> lock(logger_mu_);
+  for (;;) {
+    const bool stopping = logger_cv_.wait_for(
+        lock, std::chrono::duration<double>(options_.stats_log_interval_s),
+        [this] { return logger_stop_; });
+    if (stopping) {
+      return;
+    }
+    lock.unlock();
+    ServerStatsSnapshot cur = Stats();
+    std::fprintf(stderr, "[cdmpp.serve] %s\n", cur.Delta(prev).ToString().c_str());
+    prev = std::move(cur);
+    lock.lock();
+  }
 }
 
 std::future<double> PredictionService::Submit(const CompactAst& ast, int device_id) {
   const auto t0 = std::chrono::steady_clock::now();
   CDMPP_CHECK(ast.num_leaves > 0);
   CacheKey key{ast.Hash(), DeviceById(device_id).Fingerprint()};
+  // Sampling decision up front so the cache-hit fast path is traceable too.
+  // With sampling off (the default) this is one relaxed load and a branch.
+  const bool traced = obs::TraceCollector::Global().ShouldSample();
 
   if (options_.enable_cache) {
     double cached = 0.0;
@@ -66,6 +104,13 @@ std::future<double> PredictionService::Submit(const CompactAst& ast, int device_
       stats_.RecordLatencyMs(MsSince(t0));
       std::promise<double> ready;
       ready.set_value(cached);
+      if (traced) {
+        // The whole submit-path hit is the cache lookup stage.
+        obs::RequestTrace trace;
+        trace.total_ms = MsSince(t0);
+        trace.AddSegment(obs::Stage::kCacheLookup, trace.total_ms);
+        obs::TraceCollector::Global().Emit(std::move(trace));
+      }
       return ready.get_future();
     }
   }
@@ -75,6 +120,7 @@ std::future<double> PredictionService::Submit(const CompactAst& ast, int device_
   req.device_id = device_id;
   req.key = key;
   req.submit_time = t0;
+  req.traced = traced;
   std::future<double> result = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -129,78 +175,119 @@ void PredictionService::WorkerLoop() {
         queue_.pop_front();
       }
     }
-    ProcessBatch(std::move(batch), ws.get(), &predictions);
+    const auto drained_at = std::chrono::steady_clock::now();
+    ProcessBatch(std::move(batch), drained_at, ws.get(), &predictions);
   }
 }
 
-void PredictionService::ProcessBatch(std::vector<Request> requests, Workspace* ws,
-                                     std::vector<double>* predictions) {
+void PredictionService::ProcessBatch(std::vector<Request> requests,
+                                     std::chrono::steady_clock::time_point drained_at,
+                                     Workspace* ws, std::vector<double>* predictions) {
+  // Trace plumbing: if the sampler picked any request in this batch, bind a
+  // batch-level Trace to this thread so the ScopedSpan hooks down the stack
+  // (formation, forward sub-stages) record into it. Untraced batches bind
+  // nothing and every hook below stays a thread-local load + branch.
+  bool traced_any = false;
+  for (const Request& req : requests) {
+    traced_any |= req.traced;
+  }
+  obs::Trace batch_trace;
+  obs::ScopedTraceBinding trace_binding(traced_any ? &batch_trace : nullptr);
+  // forward_done marks the forward/finalize stage boundary for the traces;
+  // only traced batches read the clock for it.
+  auto forward_done = drained_at;
+
+  // Emits the per-request trace at fulfill time: queue wait (submit ->
+  // drained_at), then either the batch's recorded spans plus a finalize
+  // segment (computed requests) or the formation time so far (requests a
+  // concurrent worker's cache insert resolved mid-formation).
+  auto emit_trace = [&](const Request& req, bool computed) {
+    obs::RequestTrace trace;
+    trace.total_ms = MsSince(req.submit_time);
+    trace.AddSegment(obs::Stage::kQueueWait, MsBetween(req.submit_time, drained_at));
+    if (computed) {
+      trace.AppendSpans(batch_trace);
+      trace.AddSegment(obs::Stage::kFinalize, MsSince(forward_done));
+    } else {
+      trace.AddSegment(obs::Stage::kBatchFormation, MsBetween(drained_at,
+                                                              std::chrono::steady_clock::now()));
+    }
+    obs::TraceCollector::Global().Emit(std::move(trace));
+  };
+
   // Coalesce duplicate in-flight keys: one forward row answers all of them.
   std::unordered_map<CacheKey, std::vector<size_t>, CacheKeyHash> groups;
   std::vector<size_t> unique_order;  // first request position per distinct key
-  for (size_t i = 0; i < requests.size(); ++i) {
-    auto [it, inserted] = groups.try_emplace(requests[i].key);
-    if (inserted) {
-      unique_order.push_back(i);
-    }
-    it->second.push_back(i);
-  }
+  std::vector<size_t> to_compute;
+  AstBatchView view;
+  const bool int8_mode = options_.precision == Precision::kInt8;
 
-  auto fulfill = [this, &requests, &groups](const CacheKey& key, double latency_seconds) {
+  auto fulfill = [&](const CacheKey& key, double latency_seconds, bool computed) {
     for (size_t pos : groups.at(key)) {
       // Record before resolving: a client observing the future must also
       // observe its request in Stats().
       stats_.RecordRequest();
       stats_.RecordLatencyMs(MsSince(requests[pos].submit_time));
       requests[pos].promise.set_value(latency_seconds);
+      if (requests[pos].traced) {
+        emit_trace(requests[pos], computed);
+      }
     }
   };
 
-  // Re-check the cache: another worker may have computed a key while these
-  // requests sat in the queue.
-  std::vector<size_t> to_compute;
-  for (size_t pos : unique_order) {
-    double cached = 0.0;
-    if (options_.enable_cache && cache_.Lookup(requests[pos].key, &cached)) {
-      stats_.RecordCacheHits(groups.at(requests[pos].key).size());
-      fulfill(requests[pos].key, cached);
-    } else {
-      to_compute.push_back(pos);
-    }
-  }
-  if (to_compute.empty()) {
-    return;
-  }
-
-  AstBatchView view;
-  view.asts.reserve(to_compute.size());
-  view.device_ids.reserve(to_compute.size());
-  for (size_t pos : to_compute) {
-    view.asts.push_back(&requests[pos].ast);
-    view.device_ids.push_back(requests[pos].device_id);
-  }
-  // Rare slow path: create heads (and, in int8 mode, their quantized
-  // snapshots) for leaf counts training never saw, under the exclusive lock.
-  // Ensure* re-checks, so racing workers are safe (and duplicate entries here
-  // are harmless).
-  const bool int8_mode = options_.precision == Precision::kInt8;
-  std::vector<int> missing_heads;
   {
-    std::shared_lock<std::shared_mutex> lock(model_mu_);
-    for (const CompactAst* ast : view.asts) {
-      if (!predictor_->HasHead(ast->num_leaves) ||
-          (int8_mode && !predictor_->HasQuantizedHead(ast->num_leaves))) {
-        missing_heads.push_back(ast->num_leaves);
+    obs::ScopedSpan formation_span(obs::Stage::kBatchFormation);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      auto [it, inserted] = groups.try_emplace(requests[i].key);
+      if (inserted) {
+        unique_order.push_back(i);
+      }
+      it->second.push_back(i);
+    }
+
+    // Re-check the cache: another worker may have computed a key while these
+    // requests sat in the queue.
+    for (size_t pos : unique_order) {
+      double cached = 0.0;
+      if (options_.enable_cache && cache_.Lookup(requests[pos].key, &cached)) {
+        stats_.RecordCacheHits(groups.at(requests[pos].key).size());
+        fulfill(requests[pos].key, cached, /*computed=*/false);
+      } else {
+        to_compute.push_back(pos);
       }
     }
-  }
-  if (!missing_heads.empty()) {
-    std::unique_lock<std::shared_mutex> lock(model_mu_);
-    for (int leaves : missing_heads) {
-      if (int8_mode) {
-        predictor_->EnsureQuantizedHead(leaves);
-      } else {
-        predictor_->EnsureHead(leaves);
+    if (to_compute.empty()) {
+      return;
+    }
+
+    view.asts.reserve(to_compute.size());
+    view.device_ids.reserve(to_compute.size());
+    for (size_t pos : to_compute) {
+      view.asts.push_back(&requests[pos].ast);
+      view.device_ids.push_back(requests[pos].device_id);
+    }
+    // Rare slow path: create heads (and, in int8 mode, their quantized
+    // snapshots) for leaf counts training never saw, under the exclusive
+    // lock. Ensure* re-checks, so racing workers are safe (and duplicate
+    // entries here are harmless).
+    std::vector<int> missing_heads;
+    {
+      std::shared_lock<std::shared_mutex> lock(model_mu_);
+      for (const CompactAst* ast : view.asts) {
+        if (!predictor_->HasHead(ast->num_leaves) ||
+            (int8_mode && !predictor_->HasQuantizedHead(ast->num_leaves))) {
+          missing_heads.push_back(ast->num_leaves);
+        }
+      }
+    }
+    if (!missing_heads.empty()) {
+      std::unique_lock<std::shared_mutex> lock(model_mu_);
+      for (int leaves : missing_heads) {
+        if (int8_mode) {
+          predictor_->EnsureQuantizedHead(leaves);
+        } else {
+          predictor_->EnsureHead(leaves);
+        }
       }
     }
   }
@@ -208,12 +295,19 @@ void PredictionService::ProcessBatch(std::vector<Request> requests, Workspace* w
   predictions->resize(view.size());  // shrink/grow keeps capacity
   uint64_t passes = 0;
   {
+    // Span covers lock acquisition + batched forward; the per-stage spans the
+    // predictor opens (featurize/encoder/heads/...) nest inside, so this
+    // span's exclusive time is the forward glue (plan build, chunking).
+    obs::ScopedSpan forward_span(obs::Stage::kForward);
     std::shared_lock<std::shared_mutex> lock(model_mu_);
     if (int8_mode) {
       predictor_->PredictBatchedQuantized(view, ws, predictions->data(), &passes);
     } else {
       predictor_->PredictBatched(view, ws, predictions->data(), &passes);
     }
+  }
+  if (traced_any) {
+    forward_done = std::chrono::steady_clock::now();
   }
   stats_.RecordForwardPasses(passes, static_cast<uint64_t>(view.size()));
 
@@ -224,7 +318,7 @@ void PredictionService::ProcessBatch(std::vector<Request> requests, Workspace* w
       cache_.Insert(key, latency_seconds);
     }
     stats_.RecordCoalesced(groups.at(key).size() - 1);
-    fulfill(key, latency_seconds);
+    fulfill(key, latency_seconds, /*computed=*/true);
   }
 }
 

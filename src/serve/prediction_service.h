@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/core/predictor.h"
+#include "src/obs/trace.h"
 #include "src/serve/prediction_cache.h"
 #include "src/serve/server_stats.h"
 #include "src/support/cpu_features.h"
@@ -63,6 +64,10 @@ struct ServeOptions {
   bool enable_cache = true;
   size_t cache_capacity = 1 << 16;
   int cache_shards = 16;
+  // > 0 starts a background thread that logs an interval-delta
+  // ServerStatsSnapshot (QPS, hit rate, latency percentiles + histogram) to
+  // stderr every this-many seconds. 0 (default) disables the logger.
+  double stats_log_interval_s = 0.0;
 };
 
 class PredictionService {
@@ -97,6 +102,10 @@ class PredictionService {
     s.precision = PrecisionName(options_.precision);
     return s;
   }
+  // Reopens the stats measurement window (counters, latency histogram, wall
+  // clock). Benchmarks call this after warm-up so headline QPS/percentiles
+  // measure steady state only; in-flight requests land in the new window.
+  void ResetStats() { stats_.Reset(); }
   const PredictionCache& cache() const { return cache_; }
   const ServeOptions& options() const { return options_; }
 
@@ -107,6 +116,9 @@ class PredictionService {
     CacheKey key;
     std::promise<double> promise;
     std::chrono::steady_clock::time_point submit_time;
+    // True for the 1-in-N requests the trace sampler selected at Submit; the
+    // worker that fulfills the request emits a per-stage RequestTrace for it.
+    bool traced = false;
   };
 
   void WorkerLoop();
@@ -117,8 +129,13 @@ class PredictionService {
   // nothing. Request bookkeeping — queue entries, promises, and this
   // method's coalescing map/index vectors — still heap-allocates per batch;
   // pooling those per worker is a ROADMAP follow-on.
-  void ProcessBatch(std::vector<Request> requests, Workspace* ws,
+  // `drained_at` is the instant the worker popped the batch off the queue —
+  // the boundary between each request's queue-wait and batch-formation trace
+  // stages.
+  void ProcessBatch(std::vector<Request> requests,
+                    std::chrono::steady_clock::time_point drained_at, Workspace* ws,
                     std::vector<double>* predictions);
+  void StatsLoggerLoop();
 
   CdmppPredictor* predictor_;
   ServeOptions options_;
@@ -135,6 +152,12 @@ class PredictionService {
   std::shared_mutex model_mu_;
 
   std::vector<std::thread> workers_;
+
+  // Periodic stats logger (options_.stats_log_interval_s > 0 only).
+  std::mutex logger_mu_;
+  std::condition_variable logger_cv_;
+  bool logger_stop_ = false;
+  std::thread logger_;
 };
 
 }  // namespace cdmpp

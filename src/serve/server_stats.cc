@@ -1,23 +1,48 @@
 #include "src/serve/server_stats.h"
 
-#include <algorithm>
 #include <cstdio>
 
 #include "src/support/cpu_features.h"
-#include "src/support/stats.h"
 
 namespace cdmpp {
 
-ServerStats::ServerStats(size_t max_latency_samples)
-    : max_latency_samples_(max_latency_samples), start_(std::chrono::steady_clock::now()) {
-  latency_ms_.reserve(std::min<size_t>(max_latency_samples, 4096));
+namespace {
+
+int64_t NowTicks() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
 }
 
-void ServerStats::RecordLatencyMs(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  if (latency_ms_.size() < max_latency_samples_) {
-    latency_ms_.push_back(ms);
-  }
+double TicksToSeconds(int64_t ticks) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::duration(ticks)).count();
+}
+
+// Recomputes every derived field from the raw counters + histogram.
+void FillDerived(ServerStatsSnapshot* s) {
+  s->qps = s->wall_seconds > 0.0 ? static_cast<double>(s->requests) / s->wall_seconds : 0.0;
+  s->cache_hit_rate =
+      s->requests > 0 ? static_cast<double>(s->cache_hits) / static_cast<double>(s->requests)
+                      : 0.0;
+  s->mean_batch_occupancy =
+      s->forward_passes > 0
+          ? static_cast<double>(s->batched_rows) / static_cast<double>(s->forward_passes)
+          : 0.0;
+  s->p50_latency_ms = s->latency_hist.Percentile(50.0);
+  s->p99_latency_ms = s->latency_hist.Percentile(99.0);
+  s->p999_latency_ms = s->latency_hist.Percentile(99.9);
+}
+
+}  // namespace
+
+ServerStats::ServerStats() : start_ticks_(NowTicks()) {}
+
+void ServerStats::Reset() {
+  requests_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  coalesced_.store(0, std::memory_order_relaxed);
+  forward_passes_.store(0, std::memory_order_relaxed);
+  batched_rows_.store(0, std::memory_order_relaxed);
+  latency_hist_.Reset();
+  start_ticks_.store(NowTicks(), std::memory_order_relaxed);
 }
 
 ServerStatsSnapshot ServerStats::Snapshot() const {
@@ -28,40 +53,48 @@ ServerStatsSnapshot ServerStats::Snapshot() const {
   s.forward_passes = forward_passes_.load(std::memory_order_relaxed);
   s.batched_rows = batched_rows_.load(std::memory_order_relaxed);
   s.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  s.qps = s.wall_seconds > 0.0 ? static_cast<double>(s.requests) / s.wall_seconds : 0.0;
-  s.cache_hit_rate =
-      s.requests > 0 ? static_cast<double>(s.cache_hits) / static_cast<double>(s.requests) : 0.0;
-  s.mean_batch_occupancy =
-      s.forward_passes > 0
-          ? static_cast<double>(s.batched_rows) / static_cast<double>(s.forward_passes)
-          : 0.0;
-  std::vector<double> latencies;
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    latencies = latency_ms_;
-  }
-  // Percentiles sorts once and is defined for the edge cases: an empty
-  // buffer reduces to 0/0, a single sample is its own p50 and p99.
-  const std::vector<double> pcts = Percentiles(std::move(latencies), {50.0, 99.0});
-  s.p50_latency_ms = pcts[0];
-  s.p99_latency_ms = pcts[1];
+      TicksToSeconds(NowTicks() - start_ticks_.load(std::memory_order_relaxed));
+  s.latency_hist = latency_hist_.Snapshot();
+  FillDerived(&s);
   s.kernel_isa = KernelIsaName(ActiveKernelIsa());
   s.precision = PrecisionName(DefaultPrecision());
   return s;
+}
+
+ServerStatsSnapshot ServerStatsSnapshot::Delta(const ServerStatsSnapshot& earlier) const {
+  ServerStatsSnapshot d;
+  d.requests = requests >= earlier.requests ? requests - earlier.requests : 0;
+  d.cache_hits = cache_hits >= earlier.cache_hits ? cache_hits - earlier.cache_hits : 0;
+  d.coalesced = coalesced >= earlier.coalesced ? coalesced - earlier.coalesced : 0;
+  d.forward_passes =
+      forward_passes >= earlier.forward_passes ? forward_passes - earlier.forward_passes : 0;
+  d.batched_rows =
+      batched_rows >= earlier.batched_rows ? batched_rows - earlier.batched_rows : 0;
+  d.wall_seconds =
+      wall_seconds > earlier.wall_seconds ? wall_seconds - earlier.wall_seconds : 0.0;
+  d.latency_hist = latency_hist.Delta(earlier.latency_hist);
+  FillDerived(&d);
+  d.kernel_isa = kernel_isa;
+  d.precision = precision;
+  return d;
 }
 
 std::string ServerStatsSnapshot::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%llu reqs in %.3fs (%.0f QPS) | hit rate %.1f%% | "
-                "%llu fwd passes, mean occupancy %.1f | p50 %.3fms p99 %.3fms | isa %s | "
-                "precision %s",
+                "%llu fwd passes, mean occupancy %.1f | p50 %.3fms p99 %.3fms "
+                "p99.9 %.3fms | isa %s | precision %s",
                 static_cast<unsigned long long>(requests), wall_seconds, qps,
                 cache_hit_rate * 100.0, static_cast<unsigned long long>(forward_passes),
-                mean_batch_occupancy, p50_latency_ms, p99_latency_ms, kernel_isa.c_str(),
-                precision.c_str());
-  return buf;
+                mean_batch_occupancy, p50_latency_ms, p99_latency_ms, p999_latency_ms,
+                kernel_isa.c_str(), precision.c_str());
+  std::string out = buf;
+  if (!latency_hist.empty()) {
+    out += "\n";
+    out += latency_hist.ToString("ms");
+  }
+  return out;
 }
 
 }  // namespace cdmpp

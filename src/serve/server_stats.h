@@ -1,19 +1,21 @@
 // Thread-safe serving counters and the derived metrics block reported by the
 // load-generator benchmark and the quickstart example.
 //
-// Counters are lock-free atomics on the hot path; request latencies go into a
-// bounded mutex-guarded sample buffer that the snapshot reduces to p50/p99
-// with the shared Percentiles helper (src/support/stats.h), which is
-// well-defined for empty (0/0) and single-sample buffers.
+// Counters are lock-free atomics on the hot path; request latencies stream
+// into a log-bucketed histogram (src/obs/histogram.h) — every request of the
+// run is counted, so p50/p99/p99.9 reflect the whole run within ~0.8%
+// relative error instead of freezing on a bounded first-N sample buffer.
+// Snapshots are cheap copies that support interval deltas (Delta) for
+// per-window QPS/percentiles, and Reset() reopens the measurement window.
 #ifndef SRC_SERVE_SERVER_STATS_H_
 #define SRC_SERVE_SERVER_STATS_H_
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
-#include <vector>
+
+#include "src/obs/histogram.h"
 
 namespace cdmpp {
 
@@ -29,8 +31,13 @@ struct ServerStatsSnapshot {
   double qps = 0.0;                  // requests / wall_seconds
   double cache_hit_rate = 0.0;       // cache_hits / requests
   double mean_batch_occupancy = 0.0; // batched_rows / forward_passes
-  double p50_latency_ms = 0.0;       // submit-to-completion, sampled
+  double p50_latency_ms = 0.0;       // submit-to-completion, whole-run streaming
   double p99_latency_ms = 0.0;
+  double p999_latency_ms = 0.0;
+
+  // Full latency distribution backing the percentiles above; mergeable and
+  // delta-able like the scalar counters.
+  obs::HistogramSnapshot latency_hist;
 
   // Kernel ISA the data plane dispatches to ("scalar" or "avx2") at snapshot
   // time, so serving numbers are attributable to the code path that ran.
@@ -41,15 +48,19 @@ struct ServerStatsSnapshot {
   // service's configured precision.
   std::string precision;
 
+  // This snapshot minus an EARLIER snapshot of the same ServerStats: the
+  // per-interval window (wall_seconds, QPS, hit rate, and percentiles all
+  // recomputed over the interval alone). isa/precision copy from `this`.
+  ServerStatsSnapshot Delta(const ServerStatsSnapshot& earlier) const;
+
+  // Headline line plus, when latencies were recorded, a per-octave text
+  // rendering of the latency histogram.
   std::string ToString() const;
 };
 
 class ServerStats {
  public:
-  // `max_latency_samples` bounds the latency buffer; once full, further
-  // latencies are counted but not sampled (the percentiles stay a snapshot of
-  // the first N requests, which is enough for the benchmark sweeps).
-  explicit ServerStats(size_t max_latency_samples = 1 << 20);
+  ServerStats();
 
   void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
   // `n` requests answered from the cache (a queued duplicate group that a
@@ -61,9 +72,14 @@ class ServerStats {
     forward_passes_.fetch_add(passes, std::memory_order_relaxed);
     batched_rows_.fetch_add(rows, std::memory_order_relaxed);
   }
-  void RecordLatencyMs(double ms);
+  void RecordLatencyMs(double ms) { latency_hist_.Record(ms); }
 
   ServerStatsSnapshot Snapshot() const;
+
+  // Zeroes every counter and the latency histogram and restarts the wall
+  // clock: the next Snapshot() measures only what happened after the Reset.
+  // Racing Record* calls land in the new window.
+  void Reset();
 
  private:
   std::atomic<uint64_t> requests_{0};
@@ -72,11 +88,11 @@ class ServerStats {
   std::atomic<uint64_t> forward_passes_{0};
   std::atomic<uint64_t> batched_rows_{0};
 
-  mutable std::mutex latency_mu_;
-  std::vector<double> latency_ms_;
-  size_t max_latency_samples_;
+  obs::LogHistogram latency_hist_;
 
-  std::chrono::steady_clock::time_point start_;
+  // steady_clock tick count of the window start; atomic so Reset() can race
+  // with Snapshot().
+  std::atomic<int64_t> start_ticks_;
 };
 
 }  // namespace cdmpp

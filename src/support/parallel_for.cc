@@ -9,9 +9,34 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace cdmpp {
 
 namespace {
+
+// Fork-vs-serial decision counters (obs/ depends only on std, so support/
+// including it keeps the layering acyclic). One sharded relaxed add per
+// ParallelFor call; registry lookups resolve once per process.
+obs::Counter& ForkDecisionCounter(const char* which) {
+  return obs::MetricsRegistry::Global().GetCounter(std::string("parallel_for.") + which);
+}
+void CountForked() {
+  static obs::Counter& c = ForkDecisionCounter("forked");
+  c.Add();
+}
+void CountSerialSmall() {
+  static obs::Counter& c = ForkDecisionCounter("serial_small");
+  c.Add();
+}
+void CountSerialNested() {
+  static obs::Counter& c = ForkDecisionCounter("serial_nested");
+  c.Add();
+}
+void CountSerialContended() {
+  static obs::Counter& c = ForkDecisionCounter("serial_contended");
+  c.Add();
+}
 
 // True while the current thread is executing chunks of some region (either as
 // a pool worker or as the calling thread of an active ParallelFor). Nested
@@ -154,7 +179,13 @@ void ThreadPool::RunImpl(int64_t begin, int64_t end, int64_t grain,
     return;
   }
   grain = std::max<int64_t>(1, grain);
-  if (num_threads_ == 1 || end - begin <= grain || tls_in_parallel_region) {
+  if (num_threads_ == 1 || end - begin <= grain) {
+    CountSerialSmall();
+    fn(ctx, begin, end);
+    return;
+  }
+  if (tls_in_parallel_region) {
+    CountSerialNested();
     fn(ctx, begin, end);
     return;
   }
@@ -162,9 +193,11 @@ void ThreadPool::RunImpl(int64_t begin, int64_t end, int64_t grain,
   // serially beats convoying behind it (the serve workers already provide
   // the outer parallelism in that situation).
   if (!impl_->region_mu.try_lock()) {
+    CountSerialContended();
     fn(ctx, begin, end);
     return;
   }
+  CountForked();
   std::lock_guard<std::mutex> region(impl_->region_mu, std::adopt_lock);
 
   {

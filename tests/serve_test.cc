@@ -517,8 +517,11 @@ TEST(ServerStatsTest, SingleSampleIsItsOwnPercentiles) {
   ServerStats stats;
   stats.RecordLatencyMs(3.25);
   ServerStatsSnapshot s = stats.Snapshot();
-  EXPECT_DOUBLE_EQ(s.p50_latency_ms, 3.25);
-  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 3.25);
+  // The streaming histogram reports bucket midpoints: within the documented
+  // ~0.8% relative error, not exact.
+  EXPECT_NEAR(s.p50_latency_ms, 3.25, 3.25 * 0.02);
+  EXPECT_NEAR(s.p99_latency_ms, 3.25, 3.25 * 0.02);
+  EXPECT_DOUBLE_EQ(s.p50_latency_ms, s.p99_latency_ms);  // same bucket exactly
 }
 
 TEST(ServerStatsTest, PercentilesAreOrderedAndSnapshotIsRepeatable) {
@@ -528,22 +531,91 @@ TEST(ServerStatsTest, PercentilesAreOrderedAndSnapshotIsRepeatable) {
   }
   ServerStatsSnapshot s1 = stats.Snapshot();
   EXPECT_LE(s1.p50_latency_ms, s1.p99_latency_ms);
-  EXPECT_NEAR(s1.p50_latency_ms, 50.5, 1e-9);
-  // A second snapshot must see the same buffer (the reduction may not
+  EXPECT_LE(s1.p99_latency_ms, s1.p999_latency_ms);
+  EXPECT_NEAR(s1.p50_latency_ms, 50.5, 50.5 * 0.02);
+  // A second snapshot must see the same histogram (the reduction may not
   // consume or corrupt it).
   ServerStatsSnapshot s2 = stats.Snapshot();
   EXPECT_DOUBLE_EQ(s2.p50_latency_ms, s1.p50_latency_ms);
   EXPECT_DOUBLE_EQ(s2.p99_latency_ms, s1.p99_latency_ms);
 }
 
-TEST(ServerStatsTest, LatencyBufferIsBounded) {
-  ServerStats stats(/*max_latency_samples=*/4);
-  for (int i = 0; i < 100; ++i) {
+TEST(ServerStatsTest, LateRunLatencySpikesMoveP99) {
+  // Regression for the old bounded reservoir, which froze percentiles on the
+  // first max_latency_samples requests: a latency regression arriving late in
+  // a long run was invisible. The streaming histogram counts every request,
+  // so late spikes move the tail percentiles.
+  ServerStats stats;
+  for (int i = 0; i < (1 << 15); ++i) {
     stats.RecordLatencyMs(1.0);
   }
-  stats.RecordLatencyMs(1000.0);  // beyond the cap: counted nowhere, sampled never
+  ServerStatsSnapshot before = stats.Snapshot();
+  EXPECT_NEAR(before.p99_latency_ms, 1.0, 1.0 * 0.02);
+  // A late 3% spike band at 500ms: with the old first-N freeze this never
+  // registered; now p99 must land in it.
+  for (int i = 0; i < 1200; ++i) {
+    stats.RecordLatencyMs(500.0);
+  }
+  ServerStatsSnapshot after = stats.Snapshot();
+  EXPECT_EQ(after.latency_hist.count, (1u << 15) + 1200u);
+  EXPECT_NEAR(after.p99_latency_ms, 500.0, 500.0 * 0.02);
+  EXPECT_NEAR(after.p50_latency_ms, 1.0, 1.0 * 0.02);
+}
+
+TEST(ServerStatsTest, ResetReopensTheMeasurementWindow) {
+  ServerStats stats;
+  stats.RecordRequest();
+  stats.RecordLatencyMs(10.0);
+  stats.RecordForwardPasses(1, 1);
+  stats.Reset();
   ServerStatsSnapshot s = stats.Snapshot();
-  EXPECT_DOUBLE_EQ(s.p99_latency_ms, 1.0);
+  EXPECT_EQ(s.requests, 0u);
+  EXPECT_EQ(s.forward_passes, 0u);
+  EXPECT_EQ(s.latency_hist.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_latency_ms, 0.0);
+  stats.RecordRequest();
+  stats.RecordLatencyMs(2.0);
+  ServerStatsSnapshot s2 = stats.Snapshot();
+  EXPECT_EQ(s2.requests, 1u);
+  EXPECT_NEAR(s2.p50_latency_ms, 2.0, 2.0 * 0.02);
+}
+
+TEST(ServerStatsTest, SnapshotDeltaMeasuresTheInterval) {
+  ServerStats stats;
+  for (int i = 0; i < 100; ++i) {
+    stats.RecordRequest();
+    stats.RecordLatencyMs(1.0);
+  }
+  ServerStatsSnapshot first = stats.Snapshot();
+  for (int i = 0; i < 50; ++i) {
+    stats.RecordRequest();
+    stats.RecordCacheHits();
+    stats.RecordLatencyMs(100.0);
+  }
+  ServerStatsSnapshot second = stats.Snapshot();
+  ServerStatsSnapshot delta = second.Delta(first);
+  EXPECT_EQ(delta.requests, 50u);
+  EXPECT_EQ(delta.cache_hits, 50u);
+  EXPECT_EQ(delta.latency_hist.count, 50u);
+  // Cumulative percentiles still see the early 1ms mass; the interval delta
+  // must see only the 100ms window.
+  EXPECT_NEAR(second.p50_latency_ms, 1.0, 1.0 * 0.02);
+  EXPECT_NEAR(delta.p50_latency_ms, 100.0, 100.0 * 0.02);
+  EXPECT_DOUBLE_EQ(delta.cache_hit_rate, 1.0);
+  EXPECT_GT(delta.wall_seconds, 0.0);
+  EXPECT_LE(delta.wall_seconds, second.wall_seconds);
+}
+
+TEST(ServerStatsTest, ToStringRendersTheLatencyHistogram) {
+  ServerStats stats;
+  stats.RecordLatencyMs(0.8);
+  stats.RecordLatencyMs(1.6);
+  const std::string text = stats.Snapshot().ToString();
+  // Headline line plus per-octave histogram rows with counts and bars.
+  EXPECT_NE(text.find("p99.9"), std::string::npos);
+  EXPECT_NE(text.find('\n'), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find(")ms"), std::string::npos);
 }
 
 TEST(ServerStatsTest, SnapshotReportsDispatchedKernelIsa) {
