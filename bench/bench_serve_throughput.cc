@@ -8,7 +8,12 @@
 // kernel ISA, serving precision) so CI tracks the serving trajectory next to
 // the GEMM one. The serving precision comes from the ServeOptions default,
 // i.e. the CDMPP_PRECISION environment override — the int8 CI leg measures
-// the quantized serving path with no bench-side changes.
+// the quantized serving path with no bench-side changes. A precision A/B
+// series (fp32 / int8-heads / int8 on the batched config) additionally
+// records each mode's QPS and int8_flop_fraction — the share of GEMM FLOPs
+// the int8 tier served, from the per-precision data-plane counters — and
+// gates that the int8 encoder tier (a) beats fp32 batched QPS on AVX2 hosts
+// (SKIP elsewhere) and (b) serves the majority of GEMM FLOPs quantized.
 // Build & run:  ./build/bench/bench_serve_throughput [--smoke]
 // (--smoke shrinks the workload and sweep for CI.)
 #include <algorithm>
@@ -122,6 +127,23 @@ std::map<std::string, uint64_t> CounterDelta(const std::map<std::string, uint64_
   return delta;
 }
 
+// Share of GEMM FLOPs that ran through the int8 kernels over a measured
+// region, from the per-precision x per-ISA data-plane counters
+// (gemm.flops.{fp32,int8}.{scalar,avx2}). ISA-independent: the fraction
+// reflects which tier served each GEMM, not which microkernel executed it.
+double Int8FlopFraction(const std::map<std::string, uint64_t>& delta) {
+  double int8 = 0.0, total = 0.0;
+  for (const auto& [name, value] : delta) {
+    if (name.rfind("gemm.flops.", 0) == 0) {
+      total += static_cast<double>(value);
+      if (name.rfind("gemm.flops.int8.", 0) == 0) {
+        int8 += static_cast<double>(value);
+      }
+    }
+  }
+  return total > 0.0 ? int8 / total : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,6 +240,82 @@ int main(int argc, char** argv) {
   headline.Print(stdout);
   std::printf("\nBatched serving: %.2fx the QPS of one-forward-per-request.\n",
               r_batched.qps / r_single.qps);
+
+  // ---- Precision A/B: fp32 vs int8-heads vs int8 on the batched config. ----
+  // One run per mode for the series (QPS + which share of GEMM FLOPs the
+  // int8 tier served), then an interleaved best-of-pairs fp32-vs-int8
+  // comparison for the throughput gate — single runs on a shared runner
+  // swing several percent, and a gate must not flag noise.
+  struct PrecisionRecord {
+    const char* name;
+    Precision mode;
+    RunResult result;
+    double int8_flop_fraction;
+  };
+  std::vector<PrecisionRecord> precision_records;
+  const std::vector<std::pair<const char*, Precision>> precision_modes = {
+      {"fp32", Precision::kFp32},
+      {"int8-heads", Precision::kInt8Heads},
+      {"int8", Precision::kInt8}};
+  for (const auto& [name, mode] : precision_modes) {
+    ServeOptions opts = batched;
+    opts.precision = mode;
+    const auto before = obs::MetricsRegistry::Global().CounterValues();
+    RunResult r = RunLoad(&predictor, w, opts, 0, /*reps=*/2);
+    const double fraction =
+        Int8FlopFraction(CounterDelta(before, obs::MetricsRegistry::Global().CounterValues()));
+    precision_records.push_back({name, mode, r, fraction});
+  }
+  std::printf("\nPrecision A/B (batched, cache disabled, 2 workers):\n");
+  TablePrinter precision_table(
+      {"precision", "QPS (batched)", "int8 flop share", "p50 (ms)", "p99 (ms)"});
+  for (const PrecisionRecord& rec : precision_records) {
+    precision_table.AddRow({rec.name, FormatDouble(rec.result.qps, 0),
+                            FormatPercent(rec.int8_flop_fraction, 1),
+                            FormatDouble(rec.result.stats.p50_latency_ms, 3),
+                            FormatDouble(rec.result.stats.p99_latency_ms, 3)});
+  }
+  precision_table.Print(stdout);
+  const double int8_flop_fraction = precision_records.back().int8_flop_fraction;
+
+  // Int8-vs-fp32 throughput gate: interleaved pairs, best pair ratio (same
+  // design as the observability overhead gate below). On AVX2 hosts the int8
+  // encoder tier must not lose QPS to fp32; without AVX2 the int8 kernels
+  // have no SIMD advantage to bank, so the gate is SKIPped, not failed.
+  const bool has_avx2 = CpuSupportsAvx2Fma();
+  const int kPrecisionPairs = 3;
+  const int kPrecisionReps = smoke ? 6 : 2;
+  double qps_fp32_gate = 0.0, qps_int8_gate = 0.0, best_int8_ratio = 0.0;
+  {
+    ServeOptions fp32_opts = batched;
+    fp32_opts.precision = Precision::kFp32;
+    ServeOptions int8_opts = batched;
+    int8_opts.precision = Precision::kInt8;
+    for (int i = 0; i < kPrecisionPairs; ++i) {
+      double fp32_qps, int8_qps;
+      if (i % 2 == 0) {
+        fp32_qps = RunLoad(&predictor, w, fp32_opts, 0, kPrecisionReps).qps;
+        int8_qps = RunLoad(&predictor, w, int8_opts, 0, kPrecisionReps).qps;
+      } else {
+        int8_qps = RunLoad(&predictor, w, int8_opts, 0, kPrecisionReps).qps;
+        fp32_qps = RunLoad(&predictor, w, fp32_opts, 0, kPrecisionReps).qps;
+      }
+      qps_fp32_gate = std::max(qps_fp32_gate, fp32_qps);
+      qps_int8_gate = std::max(qps_int8_gate, int8_qps);
+      if (fp32_qps > 0.0) {
+        best_int8_ratio = std::max(best_int8_ratio, int8_qps / fp32_qps);
+      }
+    }
+  }
+  const bool int8_qps_gate_ok = !has_avx2 || best_int8_ratio >= 1.0;
+  const bool int8_fraction_gate_ok = int8_flop_fraction > 0.5;
+  std::printf("Int8 encoder serving vs fp32 (best of %d interleaved pairs): "
+              "%.0f vs %.0f QPS, best pair ratio %.3fx [%s]; int8 GEMM flop share %.1f%% [%s]\n",
+              kPrecisionPairs, qps_int8_gate, qps_fp32_gate, best_int8_ratio,
+              !has_avx2 ? "SKIP: no AVX2"
+                        : (int8_qps_gate_ok ? "PASS" : "FAIL: int8 slower than fp32"),
+              100.0 * int8_flop_fraction,
+              int8_fraction_gate_ok ? "PASS" : "FAIL: not a majority");
 
   // ---- Threads series: batched QPS vs intra-request thread count. ----
   // The encoder's per-(sample, head) attention blocks and the GEMM row
@@ -377,6 +475,27 @@ int main(int argc, char** argv) {
                    i + 1 < threads_records.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    // Precision A/B series and the int8-vs-fp32 batched-QPS gate record.
+    std::fprintf(f, "  \"precision_series\": [\n");
+    for (size_t i = 0; i < precision_records.size(); ++i) {
+      const PrecisionRecord& rec = precision_records[i];
+      std::fprintf(f,
+                   "    {\"precision\": \"%s\", \"qps_batched\": %.2f, "
+                   "\"int8_flop_fraction\": %.4f, \"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                   rec.name, rec.result.qps, rec.int8_flop_fraction,
+                   rec.result.stats.p50_latency_ms, rec.result.stats.p99_latency_ms,
+                   i + 1 < precision_records.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"int8_flop_fraction\": %.4f,\n"
+                 "  \"int8_vs_fp32\": {\n"
+                 "    \"qps_fp32\": %.2f,\n    \"qps_int8\": %.2f,\n"
+                 "    \"best_pair_ratio\": %.4f,\n    \"avx2\": %s,\n"
+                 "    \"qps_gate\": \"%s\",\n    \"flop_fraction_gate\": \"%s\"\n  },\n",
+                 int8_flop_fraction, qps_fp32_gate, qps_int8_gate, best_int8_ratio,
+                 has_avx2 ? "true" : "false",
+                 !has_avx2 ? "skip" : (int8_qps_gate_ok ? "pass" : "fail"),
+                 int8_fraction_gate_ok ? "pass" : "fail");
     // Per-stage breakdown of the traced batched run (exclusive time, so the
     // shares sum to <= 1 with the remainder being unattributed gaps).
     std::fprintf(f, "  \"stages\": {\n");
@@ -426,12 +545,32 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: could not write %s\n", metrics_path);
   }
 
+  int rc = 0;
   if (!gate_ok) {
     std::fprintf(stderr,
                  "FAIL: observability overhead %.2f%% exceeds the 1%% budget "
                  "(instrumented %.0f QPS < 0.99 * suppressed %.0f QPS)\n",
                  100.0 * overhead, qps_instrumented, qps_suppressed);
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!has_avx2) {
+    std::fprintf(stderr,
+                 "SKIP: int8>=fp32 batched-QPS gate (no AVX2; best pair ratio measured "
+                 "%.3fx)\n",
+                 best_int8_ratio);
+  } else if (!int8_qps_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: int8 batched QPS below fp32 in every interleaved pair "
+                 "(best ratio %.3fx < 1.0x)\n",
+                 best_int8_ratio);
+    rc = 1;
+  }
+  if (!int8_fraction_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: int8 tier served only %.1f%% of GEMM FLOPs in CDMPP_PRECISION=int8 "
+                 "mode (need a majority)\n",
+                 100.0 * int8_flop_fraction);
+    rc = 1;
+  }
+  return rc;
 }

@@ -426,16 +426,34 @@ double CdmppPredictor::PredictAst(const CompactAst& ast, int device_id) {
   return PredictBatched(view)[0];
 }
 
+std::vector<float> CdmppPredictor::HeadColumnScales(int leaf_count, const Linear& head) const {
+  // A head's input is the packed encoder output [B, leaf_count * d_model]:
+  // leaf_count tiled copies of the last layer's norm2 channel profile, which
+  // is statically estimable from its gamma/beta — so the largest GEMM in the
+  // model (k up to leaf_count * d_model) gets per-channel activation scales.
+  const LayerNorm& last_norm = encoder_->layer(encoder_->num_layers() - 1).norm2();
+  const std::vector<float> est = LayerNormActAbsMax(last_norm);
+  std::vector<float> tiled(static_cast<size_t>(leaf_count) * est.size());
+  for (int t = 0; t < leaf_count; ++t) {
+    std::copy(est.begin(), est.end(), tiled.begin() + static_cast<size_t>(t) * est.size());
+  }
+  return BalancedColumnScales(tiled, head.weight());
+}
+
 void CdmppPredictor::PrepareQuantizedInference() {
   CDMPP_CHECK_MSG(fitted_, "quantize an unfitted predictor: run Pretrain first");
   q_leaf_heads_.clear();
   for (const auto& [leaves, head] : leaf_heads_) {
-    q_leaf_heads_[leaves] = std::make_unique<QuantizedLinear>(*head);
+    q_leaf_heads_[leaves] =
+        std::make_unique<QuantizedLinear>(*head, HeadColumnScales(leaves, *head));
   }
   q_device_mlp_ = std::make_unique<QuantizedMlp>(*device_mlp_);
   // The decoder's final [*, 1] projection stays fp32: its absolute noise
   // hits the transformed label directly (see QuantizedMlp in quantize.h).
   q_decoder_ = std::make_unique<QuantizedMlp>(*decoder_, /*num_fp32_tail_layers=*/1);
+  // Encoder weight GEMMs (the bulk of serving FLOPs); used by Precision::kInt8,
+  // skipped by kInt8Heads at forward time.
+  q_encoder_ = std::make_unique<QuantizedTransformerEncoder>(*encoder_);
 }
 
 bool CdmppPredictor::HasQuantizedHead(int leaf_count) const {
@@ -447,7 +465,9 @@ void CdmppPredictor::EnsureQuantizedHead(int leaf_count) {
   if (HasQuantizedHead(leaf_count)) {
     return;
   }
-  q_leaf_heads_[leaf_count] = std::make_unique<QuantizedLinear>(*leaf_heads_.at(leaf_count));
+  const Linear& head = *leaf_heads_.at(leaf_count);
+  q_leaf_heads_[leaf_count] =
+      std::make_unique<QuantizedLinear>(head, HeadColumnScales(leaf_count, head));
 }
 
 bool CdmppPredictor::HasHead(int leaf_count) const {
@@ -479,27 +499,30 @@ std::vector<double> CdmppPredictor::PredictBatched(const AstBatchView& view,
 
 void CdmppPredictor::PredictBatched(const AstBatchView& view, Workspace* ws, double* out,
                                     uint64_t* num_forward_passes) const {
-  PredictBatchedImpl(view, ws, out, num_forward_passes, /*quantized=*/false);
+  PredictBatchedImpl(view, ws, out, num_forward_passes, Precision::kFp32);
 }
 
 void CdmppPredictor::PredictBatchedQuantized(const AstBatchView& view, Workspace* ws,
-                                             double* out,
-                                             uint64_t* num_forward_passes) const {
+                                             double* out, uint64_t* num_forward_passes,
+                                             Precision mode) const {
   CDMPP_CHECK_MSG(quantized_ready(),
                   "int8 serving before PrepareQuantizedInference()");
-  PredictBatchedImpl(view, ws, out, num_forward_passes, /*quantized=*/true);
+  CDMPP_CHECK_MSG(mode != Precision::kFp32,
+                  "PredictBatchedQuantized called with fp32 mode; use PredictBatched");
+  PredictBatchedImpl(view, ws, out, num_forward_passes, mode);
 }
 
 std::vector<double> CdmppPredictor::PredictBatchedQuantized(
-    const AstBatchView& view, uint64_t* num_forward_passes) const {
+    const AstBatchView& view, uint64_t* num_forward_passes, Precision mode) const {
   WorkspacePool::Lease ws = WorkspacePool::Global().Acquire();
   std::vector<double> out(view.size(), 0.0);
-  PredictBatchedQuantized(view, ws.get(), out.data(), num_forward_passes);
+  PredictBatchedQuantized(view, ws.get(), out.data(), num_forward_passes, mode);
   return out;
 }
 
 void CdmppPredictor::PredictBatchedImpl(const AstBatchView& view, Workspace* ws, double* out,
-                                        uint64_t* num_forward_passes, bool quantized) const {
+                                        uint64_t* num_forward_passes, Precision mode) const {
+  const bool quantized = mode != Precision::kFp32;
   CDMPP_CHECK(fitted_);
   CDMPP_CHECK(view.asts.size() == view.device_ids.size());
   if (view.size() == 0) {
@@ -548,8 +571,12 @@ void CdmppPredictor::PredictBatchedImpl(const AstBatchView& view, Workspace* ws,
     Matrix* h = nullptr;
     {
       obs::ScopedSpan span(obs::Stage::kEncoder);
+      // The input projection stays fp32 in every mode (its quantization noise
+      // would feed the whole stack for ~1% of model FLOPs); kInt8 swaps the
+      // encoder stack for its quantized snapshot, kInt8Heads keeps it fp32.
       Matrix* proj = input_proj_->ForwardInference(*x, ws);
-      h = encoder_->ForwardInference(*proj, l, ws);
+      h = mode == Precision::kInt8 ? q_encoder_->ForwardInference(*proj, l, ws)
+                                   : encoder_->ForwardInference(*proj, l, ws);
     }
     Matrix* zx = nullptr;
     {

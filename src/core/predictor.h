@@ -23,6 +23,7 @@
 #include "src/nn/quantize.h"
 #include "src/nn/transformer.h"
 #include "src/nn/workspace.h"
+#include "src/support/cpu_features.h"
 
 namespace cdmpp {
 
@@ -140,22 +141,27 @@ class CdmppPredictor {
   void PredictBatched(const AstBatchView& view, Workspace* ws, double* out,
                       uint64_t* num_forward_passes = nullptr) const;
 
-  // ---- Int8 quantized serving path (CDMPP_PRECISION=int8) ------------------
+  // ---- Int8 quantized serving path (CDMPP_PRECISION=int8|int8-heads) -------
   //
-  // PredictBatchedQuantized is PredictBatched with the Linear/Mlp forwards
-  // routed through the int8 symmetric-quantized kernel tier
-  // (src/nn/quantize.h): the per-leaf-count heads (the largest per-sample
-  // GEMM), the device MLP, and the decoder hiddens run int8 GEMMs with
-  // per-output-channel weight scales and dynamic per-row activation scales.
-  // The transformer encoder stays fp32 (int8 attention is a ROADMAP
-  // follow-on), and so do the two accuracy-critical fringes: the input
-  // projection (its quantization noise feeds the fp32 attention/LayerNorm
-  // stack, which amplifies it, while its GEMM is ~1% of model FLOPs) and the
-  // decoder's final [*, 1] projection (absolute noise there lands directly on
-  // the transformed label under the exponential-tailed inverse Box-Cox).
-  // These exclusions are what hold the <= 1% agreement contract below
-  // (per-stage error measurements drove them — see the design note in
-  // README.md). Same thread-safety
+  // PredictBatchedQuantized is PredictBatched with the weight GEMMs routed
+  // through the int8 symmetric-quantized kernel tier (src/nn/quantize.h):
+  // int8 GEMMs with per-output-channel weight scales and dynamic per-row
+  // activation scales. `mode` selects the coverage:
+  //   * Precision::kInt8 (the default tier): the transformer encoder's
+  //     QKV/output projections and FFN pair (the bulk of serving FLOPs, with
+  //     per-channel activation scales derived from the LayerNorms — see
+  //     QuantizedTransformerEncoder), plus the per-leaf-count heads, the
+  //     device MLP, and the decoder hiddens.
+  //   * Precision::kInt8Heads: the pre-encoder subset (heads + device MLP +
+  //     decoder hiddens), kept for A/B-measuring the encoder conversion.
+  // In both modes three fringes stay fp32, each from a measured
+  // accuracy/throughput trade: attention's activation×activation
+  // score/context GEMMs (both operands dynamic — ROADMAP follow-on), the
+  // input projection (its quantization noise feeds the whole encoder stack
+  // while its GEMM is ~1% of model FLOPs), and the decoder's final [*, 1]
+  // projection (absolute noise there lands directly on the transformed label
+  // under the exponential-tailed inverse Box-Cox). See the README design
+  // note for the measured per-stage error ladder. Same thread-safety
   // contract as PredictBatched (const, lock-free, reads quantized snapshots
   // only), and — because activation scales are per row — the same bitwise
   // batch-size-invariance. Results agree with fp32 to <= 1% relative on the
@@ -167,15 +173,17 @@ class CdmppPredictor {
   // a quantized head for every leaf count served (EnsureQuantizedHead, which
   // the PredictionService calls under its write lock).
   void PrepareQuantizedInference();
-  bool quantized_ready() const { return q_decoder_ != nullptr; }
+  bool quantized_ready() const { return q_decoder_ != nullptr && q_encoder_ != nullptr; }
   bool HasQuantizedHead(int leaf_count) const;
   // Creates the fp32 head if missing, then its quantized snapshot. Mutating —
   // serialize against concurrent PredictBatched*/PredictAst calls.
   void EnsureQuantizedHead(int leaf_count);
   std::vector<double> PredictBatchedQuantized(const AstBatchView& view,
-                                              uint64_t* num_forward_passes = nullptr) const;
+                                              uint64_t* num_forward_passes = nullptr,
+                                              Precision mode = Precision::kInt8) const;
   void PredictBatchedQuantized(const AstBatchView& view, Workspace* ws, double* out,
-                               uint64_t* num_forward_passes = nullptr) const;
+                               uint64_t* num_forward_passes = nullptr,
+                               Precision mode = Precision::kInt8) const;
 
   // True once Pretrain has fitted the feature scaler and label transform.
   bool fitted() const { return fitted_; }
@@ -208,13 +216,17 @@ class CdmppPredictor {
 
   // Creates per-leaf-count heads for every leaf count in the dataset subset.
   void EnsureHeads(const Dataset& ds, const std::vector<int>& indices);
+  // Per-channel activation scales for a head's packed encoder-output input
+  // (the last layer's norm2 profile tiled leaf_count times).
+  std::vector<float> HeadColumnScales(int leaf_count, const Linear& head) const;
   void RebuildOptimizer();
   void CollectAllParams(std::vector<Param*>* out);
 
-  // Shared serving forward: the fp32 and int8 paths differ only in which
-  // layer snapshots run the Linear/Mlp stages.
+  // Shared serving forward: the fp32 and both int8 modes differ only in
+  // which layer snapshots run the weight-GEMM stages (`mode` selects encoder
+  // coverage on top of the heads/device-MLP/decoder swap).
   void PredictBatchedImpl(const AstBatchView& view, Workspace* ws, double* out,
-                          uint64_t* num_forward_passes, bool quantized) const;
+                          uint64_t* num_forward_passes, Precision mode) const;
 
   BatchForward Forward(const Dataset& ds, const Batch& batch);
   // Backprops d(loss)/d(pred) [B,1] and optionally d(loss)/dz (may be empty).
@@ -250,6 +262,7 @@ class CdmppPredictor {
   std::map<int, std::unique_ptr<QuantizedLinear>> q_leaf_heads_;
   std::unique_ptr<QuantizedMlp> q_device_mlp_;
   std::unique_ptr<QuantizedMlp> q_decoder_;
+  std::unique_ptr<QuantizedTransformerEncoder> q_encoder_;
 
   // Forward caches for Backward.
   int cached_seq_len_ = 0;

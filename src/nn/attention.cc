@@ -38,6 +38,64 @@ void AccumulateBlock(Matrix* packed, const Matrix& block, int sample, int head, 
   }
 }
 
+// The per-(sample, head) fp32 score/context loop shared verbatim by the fp32
+// and int8 attention forwards (only the Q/K/V/output *projections* differ
+// between the two tiers; the activation×activation GEMMs are identical).
+// q_all must already carry the folded 1/sqrt(d_head) softmax scale. Every
+// (sample, head) writes its own disjoint [seq_len, d_head] block of the
+// returned context, so no zero-fill or reduction is needed — and the blocks
+// split across cores. Each forked chunk leases a scores scratch arena from
+// the global WorkspacePool (the caller's `ws` stays single-owner);
+// per-element accumulation order inside each block is fixed by the kernels
+// regardless of partition, so the output is bitwise identical for every
+// thread count. Inner GEMMs of forked chunks run inline (nested ParallelFor
+// is serial), which the kernels' partition-independence keeps bitwise too.
+Matrix* AttentionContext(const Matrix& q_all, const Matrix& k_all, const Matrix& v_all,
+                         int batch, int seq_len, int num_heads, int d_head, int d_model,
+                         Workspace* ws) {
+  Matrix* context = ws->NewMatrix(batch * seq_len, d_model);
+  const int64_t blocks = static_cast<int64_t>(batch) * num_heads;
+  // One chunk of the block loop: scores is that chunk's private scratch; all
+  // other reads/writes are disjoint per block, so the arithmetic is the same
+  // whichever scratch backs it.
+  auto process = [&](Matrix* scores, int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const int b = static_cast<int>(i / num_heads);
+      const int h = static_cast<int>(i % num_heads);
+      const float* q = q_all.Row(b * seq_len) + h * d_head;
+      const float* k = k_all.Row(b * seq_len) + h * d_head;
+      const float* v = v_all.Row(b * seq_len) + h * d_head;
+      float* ctx = context->Row(b * seq_len) + h * d_head;
+      // scores = (Q/sqrt(d))·Kᵀ directly on the packed layout
+      // (lda/ldb = d_model).
+      kernels::GemmNT(seq_len, seq_len, d_head, q, d_model, k, d_model,
+                      /*beta=*/0.0f, scores->data(), seq_len);
+      SoftmaxRows(scores);
+      // context block = softmax(scores)·V, written in place.
+      kernels::GemmNN(seq_len, d_head, seq_len, scores->data(), seq_len, v, d_model,
+                      /*beta=*/0.0f, ctx, d_model);
+    }
+  };
+  // ~2 GEMMs of 2*L*L*d_head flops per block, against the shared fork policy.
+  const double flops =
+      4.0 * static_cast<double>(blocks) * seq_len * static_cast<double>(seq_len) * d_head;
+  ThreadPool& pool = ThreadPool::Global();
+  if (pool.num_threads() > 1 && blocks > 1 && WorthForkingWork(flops)) {
+    // Forked: each chunk leases its scores scratch from the global pool (the
+    // caller's `ws` stays single-owner).
+    pool.ParallelForWithScratch(WorkspacePool::Global(), 0, blocks, ParallelGrain(blocks),
+                                [&](Workspace* scratch, int64_t i0, int64_t i1) {
+                                  process(scratch->NewMatrix(seq_len, seq_len), i0, i1);
+                                });
+  } else {
+    // Serial: scores from the caller's arena, zero synchronization — the
+    // QPS-bound many-worker configuration (CDMPP_NUM_THREADS=1) never
+    // touches the pool mutex.
+    process(ws->NewMatrix(seq_len, seq_len), 0, blocks);
+  }
+  return context;
+}
+
 }  // namespace
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int num_heads, Rng* rng)
@@ -119,55 +177,89 @@ Matrix* MultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len,
   const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
   q_all->Scale(scale);
 
-  // Every (sample, head) writes its own disjoint [seq_len, d_head] block of
-  // `context`, so no zero-fill or reduction is needed — and the blocks split
-  // across cores. Each chunk leases a scores scratch arena from the global
-  // WorkspacePool (the caller's `ws` stays single-owner); per-element
-  // accumulation order inside each block is fixed by the kernels regardless
-  // of partition, so the output is bitwise identical for every thread count.
-  // Inner GEMMs of forked chunks run inline (nested ParallelFor is serial),
-  // which the kernels' partition-independence keeps bitwise too.
-  Matrix* context = ws->NewMatrix(x.rows(), d_model_);
-  const int64_t blocks = static_cast<int64_t>(batch) * num_heads_;
-  // One chunk of the block loop: scores is that chunk's private scratch; all
-  // other reads/writes are disjoint per block, so the arithmetic is the same
-  // whichever scratch backs it.
-  auto process = [&](Matrix* scores, int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const int b = static_cast<int>(i / num_heads_);
-      const int h = static_cast<int>(i % num_heads_);
-      const float* q = q_all->Row(b * seq_len) + h * d_head_;
-      const float* k = k_all->Row(b * seq_len) + h * d_head_;
-      const float* v = v_all->Row(b * seq_len) + h * d_head_;
-      float* ctx = context->Row(b * seq_len) + h * d_head_;
-      // scores = (Q/sqrt(d))·Kᵀ directly on the packed layout
-      // (lda/ldb = d_model).
-      kernels::GemmNT(seq_len, seq_len, d_head_, q, d_model_, k, d_model_,
-                      /*beta=*/0.0f, scores->data(), seq_len);
-      SoftmaxRows(scores);
-      // context block = softmax(scores)·V, written in place.
-      kernels::GemmNN(seq_len, d_head_, seq_len, scores->data(), seq_len, v, d_model_,
-                      /*beta=*/0.0f, ctx, d_model_);
-    }
-  };
-  // ~2 GEMMs of 2*L*L*d_head flops per block, against the shared fork policy.
-  const double flops =
-      4.0 * static_cast<double>(blocks) * seq_len * static_cast<double>(seq_len) * d_head_;
-  ThreadPool& pool = ThreadPool::Global();
-  if (pool.num_threads() > 1 && blocks > 1 && WorthForkingWork(flops)) {
-    // Forked: each chunk leases its scores scratch from the global pool (the
-    // caller's `ws` stays single-owner).
-    pool.ParallelForWithScratch(WorkspacePool::Global(), 0, blocks, ParallelGrain(blocks),
-                                [&](Workspace* scratch, int64_t i0, int64_t i1) {
-                                  process(scratch->NewMatrix(seq_len, seq_len), i0, i1);
-                                });
-  } else {
-    // Serial: scores from the caller's arena, zero synchronization — the
-    // QPS-bound many-worker configuration (CDMPP_NUM_THREADS=1) never
-    // touches the pool mutex.
-    process(ws->NewMatrix(seq_len, seq_len), 0, blocks);
-  }
+  Matrix* context =
+      AttentionContext(*q_all, *k_all, *v_all, batch, seq_len, num_heads_, d_head_, d_model_, ws);
   return wo_->ForwardInference(*context, ws);
+}
+
+QuantizedMultiHeadSelfAttention::QuantizedMultiHeadSelfAttention(
+    const MultiHeadSelfAttention& attn, const std::vector<float>& act_absmax)
+    : d_model_(attn.d_model()),
+      num_heads_(attn.num_heads()),
+      d_head_(attn.d_model() / attn.num_heads()),
+      wo_(attn.wo()) {
+  if (act_absmax.empty()) {
+    // No static channel profile for the input (the encoder's first layer,
+    // fed by the fp32 input projection): keep Q/K/V fp32. Measured: plain
+    // per-row quantization here is what pushed full-encoder agreement past
+    // the 1% contract — the noise enters before every downstream stage and
+    // the softmax's exponentials are sensitive to it.
+    fp32_qkv_.reserve(3);
+    fp32_qkv_.push_back(attn.wq());
+    fp32_qkv_.push_back(attn.wk());
+    fp32_qkv_.push_back(attn.wv());
+  } else {
+    // ONE column-scale vector balanced against all three projection weights:
+    // sharing the scales (and therefore the quantized input codes) lets the
+    // forward quantize x once and run three GEMMs over the same codes —
+    // measured, the per-row quantize pass is the dominant non-GEMM cost of
+    // the int8 encoder, so collapsing 3 passes to 1 here is a straight
+    // serving win over marginally finer per-projection balance.
+    const std::vector<float> shared_scales = BalancedColumnScales(
+        act_absmax, {&attn.wq().weight(), &attn.wk().weight(), &attn.wv().weight()});
+    qkv_.reserve(3);
+    qkv_.emplace_back(attn.wq(), shared_scales);
+    qkv_.emplace_back(attn.wk(), shared_scales);
+    qkv_.emplace_back(attn.wv(), shared_scales);
+  }
+}
+
+Matrix* QuantizedMultiHeadSelfAttention::ForwardInference(const Matrix& x, int seq_len,
+                                                          Workspace* ws) const {
+  // Same span discipline as the fp32 path: whole-call wall time on the
+  // calling thread, never reaching into the parallel region.
+  obs::ScopedSpan span(obs::Stage::kAttention);
+  CDMPP_CHECK(seq_len > 0);
+  CDMPP_CHECK(x.rows() % seq_len == 0);
+  CDMPP_CHECK(x.cols() == d_model_);
+  const int batch = x.rows() / seq_len;
+
+  // The three input projections share ONE quantization of x (the constructor
+  // gave them identical folded column scales), done before any fork with
+  // row-deterministic per-row scales — both bitwise invariance contracts
+  // hold, and the quantize pass runs once instead of three times. Without a
+  // channel profile the fp32 copies run instead (see the constructor).
+  Matrix* q_all;
+  Matrix* k_all;
+  Matrix* v_all;
+  if (!qkv_.empty()) {
+    const int m = x.rows();
+    const int ldq = 2 * qkv_[0].k2();
+    int16_t* qx = ws->NewI16(static_cast<size_t>(m) * ldq);
+    Matrix* row_scales = ws->NewMatrix(m, 1);
+    {
+      obs::ScopedSpan qspan(obs::Stage::kQuantize);
+      QuantizeActivationsPerRowScaled(m, d_model_, x.data(), x.cols(),
+                                      qkv_[0].inv_col_scales().data(), qx, ldq,
+                                      row_scales->data());
+    }
+    q_all = qkv_[0].ForwardPreQuantized(m, qx, ldq, row_scales->data(), ws);
+    k_all = qkv_[1].ForwardPreQuantized(m, qx, ldq, row_scales->data(), ws);
+    v_all = qkv_[2].ForwardPreQuantized(m, qx, ldq, row_scales->data(), ws);
+  } else {
+    q_all = fp32_qkv_[0].ForwardInference(x, ws);
+    k_all = fp32_qkv_[1].ForwardInference(x, ws);
+    v_all = fp32_qkv_[2].ForwardInference(x, ws);
+  }
+
+  // Softmax scale folded into the (dequantized fp32) Q operand, identical
+  // formulation to the fp32 path.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  q_all->Scale(scale);
+
+  Matrix* context =
+      AttentionContext(*q_all, *k_all, *v_all, batch, seq_len, num_heads_, d_head_, d_model_, ws);
+  return wo_.ForwardInference(*context, ws);
 }
 
 Matrix MultiHeadSelfAttention::Backward(const Matrix& dy) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/nn/layers.h"
+#include "src/nn/quantize.h"
 
 namespace cdmpp {
 
@@ -35,6 +36,15 @@ class MultiHeadSelfAttention : public Module {
   void CollectParams(std::vector<Param*>* out) override;
 
   int d_model() const { return d_model_; }
+  int num_heads() const { return num_heads_; }
+
+  // Read-only projection views: the int8 calibration path
+  // (QuantizedMultiHeadSelfAttention) snapshots these into packed quantized
+  // form.
+  const Linear& wq() const { return *wq_; }
+  const Linear& wk() const { return *wk_; }
+  const Linear& wv() const { return *wv_; }
+  const Linear& wo() const { return *wo_; }
 
  private:
   int d_model_;
@@ -47,6 +57,52 @@ class MultiHeadSelfAttention : public Module {
   int cached_batch_ = 0;
   Matrix cached_q_, cached_k_, cached_v_;
   std::vector<Matrix> cached_attn_;  // per (sample, head): [L, L] softmax weights
+};
+
+// The int8 mirror of MultiHeadSelfAttention for the serving hot path
+// (CDMPP_PRECISION=int8): the four weight GEMMs — Q/K/V projections and the
+// output projection — run through the quantized kernel tier, while the
+// activation×activation score/context GEMMs stay fp32 (their operands are
+// both dynamic, a different quantization problem — ROADMAP follow-on). The
+// score/context block loop is the SAME code the fp32 path runs (shared
+// helper), so the quantized path inherits its thread-count bitwise
+// invariance; QKV quantization happens before the forked region with
+// row-deterministic per-row scales, keeping batch-size invariance too.
+//
+// `act_absmax` is a data-free per-input-channel magnitude estimate for x
+// (from the preceding LayerNorm when there is one); non-empty enables the
+// per-channel activation-scale variant on the Q/K/V projections with ONE
+// scale vector balanced against all three weights (multi-consumer
+// BalancedColumnScales), so the forward quantizes x once and feeds the same
+// codes to all three GEMMs (ForwardPreQuantized). Empty (the
+// encoder's first layer, whose input comes from the fp32 input projection
+// with no static channel profile) keeps Q/K/V fp32 entirely: measured on the
+// serving fixtures, plain per-row quantization there breached the 1%
+// end-to-end agreement contract — pre-softmax noise compounds through every
+// downstream stage. The output projection is always quantized with plain
+// per-row activation scales: its input is the attention context, whose
+// channel profile is data-dependent, and its noise enters post-softmax.
+//
+// Calibrated, immutable snapshot: construction is mutating-world only,
+// ForwardInference is const and thread-safe for concurrent readers.
+class QuantizedMultiHeadSelfAttention {
+ public:
+  QuantizedMultiHeadSelfAttention(const MultiHeadSelfAttention& attn,
+                                  const std::vector<float>& act_absmax);
+
+  // x: [batch * seq_len, d_model]; same contract and parallel structure as
+  // the fp32 arena ForwardInference.
+  Matrix* ForwardInference(const Matrix& x, int seq_len, Workspace* ws) const;
+
+  int d_model() const { return d_model_; }
+
+ private:
+  int d_model_;
+  int num_heads_;
+  int d_head_;
+  std::vector<QuantizedLinear> qkv_;  // {q, k, v} when a channel profile exists
+  std::vector<Linear> fp32_qkv_;      // {q, k, v} fp32 copies otherwise
+  QuantizedLinear wo_;
 };
 
 }  // namespace cdmpp

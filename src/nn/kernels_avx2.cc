@@ -444,6 +444,97 @@ void GemmNTPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int l
   }
 }
 
+// ---- Row quantization (the activation half of the int8 tier). --------------
+//
+// The serving profile showed the scalar two-pass quantizer costing more than
+// the int8 GEMM saves at the encoder's k = 64 shapes, so the quantize pass
+// itself is vectorized. Bitwise identity with the scalar body (see the
+// declaration comment in kernels_internal.h) is load-bearing: it is what lets
+// this kernel dispatch per-ISA without splitting the quantized tier's
+// cross-ISA bitwise contract.
+
+// |v| by clearing the sign bit — exactly std::abs on every float.
+inline __m256 Abs8(__m256 v) { return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), v); }
+
+// Max over the 8 lanes. max is order-independent, so the tree reduce equals
+// the scalar ascending-p fold bit for bit.
+inline float HorizontalMax8(__m256 v) {
+  __m128 m = _mm_max_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  return _mm_cvtss_f32(m);
+}
+
+void QuantizeRowsPanelAvx2(int64_t i0, int64_t i1, int k, const float* x, int ldx,
+                           const float* inv_col, float qmax, int16_t* q, int ldq,
+                           float* scales) {
+  const int k2 = (k + 1) / 2;
+  const __m256 vqmax = _mm256_set1_ps(qmax);
+  const __m256 vnqmax = _mm256_set1_ps(-qmax);
+  for (int64_t i = i0; i < i1; ++i) {
+    const float* row = x + i * ldx;
+    // Pass 1: row absmax (of the channel-scaled values on the scaled path).
+    __m256 vmax = _mm256_setzero_ps();
+    float absmax = 0.0f;
+    int p = 0;
+    if (inv_col != nullptr) {
+      for (; p + 8 <= k; p += 8) {
+        const __m256 v =
+            _mm256_mul_ps(_mm256_loadu_ps(row + p), _mm256_loadu_ps(inv_col + p));
+        vmax = _mm256_max_ps(vmax, Abs8(v));
+      }
+      for (; p < k; ++p) {
+        const float v = row[p] * inv_col[p];
+        absmax = absmax < (v < 0.0f ? -v : v) ? (v < 0.0f ? -v : v) : absmax;
+      }
+    } else {
+      for (; p + 8 <= k; p += 8) {
+        vmax = _mm256_max_ps(vmax, Abs8(_mm256_loadu_ps(row + p)));
+      }
+      for (; p < k; ++p) {
+        const float v = row[p] < 0.0f ? -row[p] : row[p];
+        absmax = absmax < v ? v : absmax;
+      }
+    }
+    const float vec_max = HorizontalMax8(vmax);
+    absmax = absmax < vec_max ? vec_max : absmax;
+    const float scale = absmax > 0.0f ? absmax / qmax : 1.0f;
+    scales[i] = scale;
+    const float inv_scale = 1.0f / scale;
+    const __m256 vinv = _mm256_set1_ps(inv_scale);
+    int16_t* qrow = q + i * ldq;
+    // Pass 2: scale, clamp, round-to-nearest-even, narrow to i16. cvtps2dq
+    // under the default MXCSR rounds exactly like the scalar std::lrintf;
+    // values are clamped to +-qmax <= 4095 first, so the i32 -> i16 packs
+    // never saturates and lane order is restored by the lo/hi split.
+    p = 0;
+    for (; p + 8 <= k; p += 8) {
+      __m256 v = _mm256_loadu_ps(row + p);
+      if (inv_col != nullptr) {
+        v = _mm256_mul_ps(v, _mm256_loadu_ps(inv_col + p));
+      }
+      v = _mm256_mul_ps(v, vinv);
+      v = _mm256_min_ps(_mm256_max_ps(v, vnqmax), vqmax);
+      const __m256i iv = _mm256_cvtps_epi32(v);
+      const __m128i packed =
+          _mm_packs_epi32(_mm256_castsi256_si128(iv), _mm256_extracti128_si256(iv, 1));
+      _mm_storeu_si128(reinterpret_cast<__m128i*>(qrow + p), packed);
+    }
+    for (; p < k; ++p) {
+      float scaled = (inv_col != nullptr ? row[p] * inv_col[p] : row[p]) * inv_scale;
+      if (scaled > qmax) {
+        scaled = qmax;
+      } else if (scaled < -qmax) {
+        scaled = -qmax;
+      }
+      qrow[p] = static_cast<int16_t>(_mm_cvtss_si32(_mm_set_ss(scaled)));
+    }
+    for (int pp = k; pp < 2 * k2; ++pp) {
+      qrow[pp] = 0;  // pad pair: contributes exactly zero to the reduction
+    }
+  }
+}
+
 void GemmQ8PanelAvx2(int64_t i0, int64_t i1, int n, int k2, const int16_t* a, int lda,
                      const int16_t* b, const Q8Epilogue* ep, int32_t* c32, float* cf,
                      int ldc) {

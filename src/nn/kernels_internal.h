@@ -79,6 +79,23 @@ void GemmNTPanelAvx2(int64_t i0, int64_t i1, int n, int k, const float* a, int l
 void GemmQ8PanelAvx2(int64_t i0, int64_t i1, int n, int k2, const int16_t* a, int lda,
                      const int16_t* b, const Q8Epilogue* ep, int32_t* c32, float* cf,
                      int ldc);
+
+// Vectorized body of the per-row activation quantizer (the scalar reference
+// lives in src/nn/quantize.cc): rows [i0, i1) of x are scaled, clamped to
+// +-qmax, and rounded into 16-bit codes with the row's dequant scale written
+// to scales[i]. `inv_col` is null for the plain path, else the per-channel
+// 1/c_p multiplied in during BOTH the absmax and rounding passes. BITWISE
+// IDENTICAL to the scalar body, element for element: absmax is a max
+// reduction (order-independent, so the 8-lane tree reduce changes nothing),
+// the per-element multiplies are the same two separately-rounded IEEE
+// products (no fused ops anywhere), the clamp is the same min/max, and
+// _mm256_cvtps_epi32 rounds nearest-even exactly like the scalar
+// std::lrintf under the default FP environment. quantize_test pins the
+// equivalence so the int8 tier's cross-ISA bitwise contract survives this
+// kernel being dispatched on AVX2 hosts only.
+void QuantizeRowsPanelAvx2(int64_t i0, int64_t i1, int k, const float* x, int ldx,
+                           const float* inv_col, float qmax, int16_t* q, int ldq,
+                           float* scales);
 #endif  // CDMPP_HAVE_AVX2_KERNELS
 
 }  // namespace detail

@@ -134,6 +134,12 @@ class LayerNorm : public Module {
   Matrix Backward(const Matrix& dy);
   void CollectParams(std::vector<Param*>* out) override;
 
+  // Read-only parameter views: the int8 calibration path derives data-free
+  // per-channel activation magnitude estimates for post-LayerNorm inputs from
+  // gamma/beta (src/nn/quantize.h).
+  const Matrix& gamma() const { return gamma_.value; }
+  const Matrix& beta() const { return beta_.value; }
+
  private:
   static constexpr float kEps = 1e-5f;
   Param gamma_;

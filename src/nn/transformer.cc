@@ -101,4 +101,53 @@ void TransformerEncoder::CollectParams(std::vector<Param*>* out) {
   }
 }
 
+QuantizedTransformerEncoderLayer::QuantizedTransformerEncoderLayer(
+    const TransformerEncoderLayer& layer, const LayerNorm* input_norm)
+    : attn_(layer.attn(),
+            input_norm != nullptr ? LayerNormActAbsMax(*input_norm) : std::vector<float>{}),
+      norm1_(layer.norm1()),
+      ff1_(layer.ff1(), BalancedColumnScales(LayerNormActAbsMax(layer.norm1()),
+                                             layer.ff1().weight())),
+      ff2_(layer.ff2()),
+      norm2_(layer.norm2()) {}
+
+Matrix* QuantizedTransformerEncoderLayer::ForwardInference(const Matrix& x, int seq_len,
+                                                           Workspace* ws) const {
+  // Mirrors the fp32 layer exactly, with the weight GEMMs swapped for their
+  // quantized snapshots. Residual adds and LayerNorms are fp32: every
+  // parallel region inside (attention chunks, LayerNorm rows, activation
+  // quantization rows) writes disjoint regions, so the whole layer stays
+  // bitwise thread-count-invariant.
+  Matrix* attn_out = attn_.ForwardInference(x, seq_len, ws);
+  attn_out->AddInPlace(x);  // residual
+  Matrix* h = norm1_.ForwardInference(*attn_out, ws);
+
+  // FFN hidden layer: bias + ReLU fused into the int8 dequant epilogue.
+  Matrix* ff1 = ff1_.ForwardInference(*h, ws, kernels::Activation::kRelu);
+  Matrix* ff = ff2_.ForwardInference(*ff1, ws);
+  ff->AddInPlace(*h);  // residual
+  return norm2_.ForwardInference(*ff, ws);
+}
+
+QuantizedTransformerEncoder::QuantizedTransformerEncoder(const TransformerEncoder& encoder)
+    : d_model_(encoder.d_model()) {
+  layers_.reserve(encoder.num_layers());
+  for (size_t i = 0; i < encoder.num_layers(); ++i) {
+    // Post-LN stacking: layer i's attention input is layer i-1's norm2
+    // output; layer 0's input is the (fp32) input projection, which has no
+    // static channel profile to fold.
+    const LayerNorm* input_norm = i > 0 ? &encoder.layer(i - 1).norm2() : nullptr;
+    layers_.emplace_back(encoder.layer(i), input_norm);
+  }
+}
+
+Matrix* QuantizedTransformerEncoder::ForwardInference(const Matrix& x, int seq_len,
+                                                      Workspace* ws) const {
+  Matrix* h = layers_[0].ForwardInference(x, seq_len, ws);
+  for (size_t i = 1; i < layers_.size(); ++i) {
+    h = layers_[i].ForwardInference(*h, seq_len, ws);
+  }
+  return h;
+}
+
 }  // namespace cdmpp

@@ -31,9 +31,11 @@ PredictionService::PredictionService(CdmppPredictor* predictor, const ServeOptio
   CDMPP_CHECK(options.num_workers > 0);
   CDMPP_CHECK(options.max_batch_size > 0);
   CDMPP_CHECK(options.batch_window_ms >= 0.0);
-  if (options.precision == Precision::kInt8) {
-    // Calibrate the int8 snapshots from the current fp32 parameters before
-    // any worker exists (single-threaded here, so mutating is safe).
+  if (options.precision != Precision::kFp32) {
+    // Calibrate the int8 snapshots (heads, device MLP, decoder, encoder) from
+    // the current fp32 parameters before any worker exists (single-threaded
+    // here, so mutating is safe). Both int8 modes calibrate everything; the
+    // forward picks the encoder tier per mode.
     predictor->PrepareQuantizedInference();
   }
   workers_.reserve(static_cast<size_t>(options.num_workers));
@@ -220,7 +222,7 @@ void PredictionService::ProcessBatch(std::vector<Request> requests,
   std::vector<size_t> unique_order;  // first request position per distinct key
   std::vector<size_t> to_compute;
   AstBatchView view;
-  const bool int8_mode = options_.precision == Precision::kInt8;
+  const bool int8_mode = options_.precision != Precision::kFp32;
 
   auto fulfill = [&](const CacheKey& key, double latency_seconds, bool computed) {
     for (size_t pos : groups.at(key)) {
@@ -301,7 +303,8 @@ void PredictionService::ProcessBatch(std::vector<Request> requests,
     obs::ScopedSpan forward_span(obs::Stage::kForward);
     std::shared_lock<std::shared_mutex> lock(model_mu_);
     if (int8_mode) {
-      predictor_->PredictBatchedQuantized(view, ws, predictions->data(), &passes);
+      predictor_->PredictBatchedQuantized(view, ws, predictions->data(), &passes,
+                                          options_.precision);
     } else {
       predictor_->PredictBatched(view, ws, predictions->data(), &passes);
     }

@@ -51,8 +51,10 @@ struct ServeOptions {
   int num_workers = 2;
   // Numeric tier the workers' forward passes run in. kInt8 serves through the
   // int8 symmetric-quantized kernel path (PredictBatchedQuantized, <= 1%
-  // relative deviation from fp32, ~2x GEMM throughput/core); the default is
-  // taken from the CDMPP_PRECISION environment override (fp32 when unset).
+  // relative deviation from fp32, ~2x GEMM throughput/core) covering the
+  // encoder weight GEMMs plus heads/device-MLP/decoder; kInt8Heads is the
+  // pre-encoder subset kept for A/B comparison. The default is taken from the
+  // CDMPP_PRECISION environment override (fp32 when unset or unrecognized).
   Precision precision = DefaultPrecision();
   // Upper bound on requests drained per worker wake-up; buckets inside a
   // drain are additionally chunked to the predictor's config batch size.
@@ -75,7 +77,7 @@ class PredictionService {
   // `predictor` must be fitted (Pretrain has run) and must outlive the
   // service. The service serializes its own head creation against its
   // forward passes; the caller must not train or mutate the predictor while
-  // the service is running. With options.precision == kInt8 the constructor
+  // the service is running. With options.precision != kFp32 the constructor
   // calibrates the predictor's int8 snapshots (PrepareQuantizedInference) —
   // a mutation, so don't construct concurrently with other predictor use.
   PredictionService(CdmppPredictor* predictor, const ServeOptions& options);

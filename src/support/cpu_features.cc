@@ -72,16 +72,41 @@ const char* KernelIsaName(KernelIsa isa) {
   return isa == KernelIsa::kAvx2 ? "avx2" : "scalar";
 }
 
+bool ParsePrecision(const char* value, Precision* out) {
+  if (value == nullptr) {
+    return false;
+  }
+  // Exact full-string matches only: "int8heads", "int8 ", "INT8", or "int8x"
+  // must all be rejected, not coerced to the nearest tier — a typo'd knob
+  // silently serving a different precision is the failure mode this guards.
+  if (std::strcmp(value, "fp32") == 0) {
+    *out = Precision::kFp32;
+    return true;
+  }
+  if (std::strcmp(value, "int8-heads") == 0) {
+    *out = Precision::kInt8Heads;
+    return true;
+  }
+  if (std::strcmp(value, "int8") == 0) {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
 Precision DefaultPrecision() {
   static const Precision resolved = [] {
     if (const char* env = std::getenv("CDMPP_PRECISION")) {
-      if (std::strcmp(env, "int8") == 0) {
-        return Precision::kInt8;
+      Precision parsed;
+      if (ParsePrecision(env, &parsed)) {
+        return parsed;
       }
-      if (std::strcmp(env, "fp32") != 0 && env[0] != '\0') {
+      // Empty means unset (CI matrix legs export '' for the default config);
+      // anything else is a misconfiguration worth shouting about.
+      if (env[0] != '\0') {
         std::fprintf(stderr,
-                     "cdmpp: unknown CDMPP_PRECISION '%s' (expected fp32|int8); "
-                     "using fp32\n",
+                     "cdmpp: rejected CDMPP_PRECISION '%s' (expected exactly "
+                     "fp32|int8-heads|int8); using fp32\n",
                      env);
       }
     }
@@ -91,7 +116,15 @@ Precision DefaultPrecision() {
 }
 
 const char* PrecisionName(Precision precision) {
-  return precision == Precision::kInt8 ? "int8" : "fp32";
+  switch (precision) {
+    case Precision::kInt8:
+      return "int8";
+    case Precision::kInt8Heads:
+      return "int8-heads";
+    case Precision::kFp32:
+      break;
+  }
+  return "fp32";
 }
 
 }  // namespace cdmpp

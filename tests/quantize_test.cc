@@ -220,6 +220,265 @@ TEST(QuantizedMlpTest, TracksFp32MlpClosely) {
   }
 }
 
+// ---- Per-channel (column) activation-scale epilogue ------------------------
+
+TEST(QuantizeActivationsScaledTest, UnitColumnScalesReproducePlainPathBitwise) {
+  Rng rng(47);
+  const int rows = 6, k = 21;
+  Matrix x = RandomMatrix(rows, k, &rng, 2.0);
+  const int k2 = (k + 1) / 2;
+  const std::vector<float> unit(static_cast<size_t>(k), 1.0f);
+  std::vector<int16_t> q_plain(static_cast<size_t>(rows) * 2 * k2, -1);
+  std::vector<int16_t> q_scaled(static_cast<size_t>(rows) * 2 * k2, -2);
+  std::vector<float> s_plain(rows, 0.0f), s_scaled(rows, 0.0f);
+  QuantizeActivationsPerRow(rows, k, x.data(), k, q_plain.data(), 2 * k2, s_plain.data());
+  QuantizeActivationsPerRowScaled(rows, k, x.data(), k, unit.data(), q_scaled.data(), 2 * k2,
+                                  s_scaled.data());
+  // x * 1.0f is exact, so the scaled path with unit scales IS the plain path.
+  EXPECT_EQ(q_plain, q_scaled);
+  EXPECT_EQ(s_plain, s_scaled);
+}
+
+// The per-channel analytic round-trip bound: the scaled value x_p / c_p obeys
+// the usual half-scale bound, so back in the original domain each channel's
+// error is bounded by scale * c_p / 2 — heterogeneous channels get
+// proportionally finer treatment, which is the whole point of the variant.
+TEST(QuantizeActivationsScaledTest, RoundTripErrorBoundedPerChannel) {
+  Rng rng(48);
+  const int rows = 5, k = 33;
+  Matrix x = RandomMatrix(rows, k, &rng, 2.0);
+  std::vector<float> col(static_cast<size_t>(k));
+  std::vector<float> inv_col(static_cast<size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    // Two decades of channel-magnitude disparity, the post-LayerNorm regime.
+    col[static_cast<size_t>(p)] = static_cast<float>(0.1 + 10.0 * rng.Uniform(0.0, 1.0));
+    inv_col[static_cast<size_t>(p)] = 1.0f / col[static_cast<size_t>(p)];
+    for (int i = 0; i < rows; ++i) {
+      x.At(i, p) *= col[static_cast<size_t>(p)];
+    }
+  }
+  const int k2 = (k + 1) / 2;
+  std::vector<int16_t> q(static_cast<size_t>(rows) * 2 * k2, -1);
+  std::vector<float> scales(rows, 0.0f);
+  QuantizeActivationsPerRowScaled(rows, k, x.data(), k, inv_col.data(), q.data(), 2 * k2,
+                                  scales.data());
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_GT(scales[static_cast<size_t>(i)], 0.0f);
+    for (int p = 0; p < k; ++p) {
+      const int16_t qv = q[static_cast<size_t>(i) * 2 * k2 + p];
+      // Dequantization recovers x via q * scale * c_p; per-channel bound.
+      const double recon = static_cast<double>(qv) * scales[static_cast<size_t>(i)] *
+                           col[static_cast<size_t>(p)];
+      const double bound =
+          0.5 * scales[static_cast<size_t>(i)] * col[static_cast<size_t>(p)];
+      EXPECT_LE(std::abs(recon - x.At(i, p)), bound * (1.0 + 1e-4) + 1e-7)
+          << "row " << i << " col " << p;
+    }
+  }
+}
+
+TEST(QuantizedLinearTest, UnitColumnScalesMatchPlainConstructorBitwise) {
+  Rng rng(49);
+  const int m = 7, k = 19, n = 13;
+  Linear linear(k, n, &rng);
+  Matrix x = RandomMatrix(m, k, &rng);
+  QuantizedLinear plain(linear);
+  QuantizedLinear scaled(linear, std::vector<float>(static_cast<size_t>(k), 1.0f));
+  EXPECT_FALSE(plain.has_col_scales());
+  EXPECT_TRUE(scaled.has_col_scales());
+  Workspace ws1, ws2;
+  Matrix* y_plain = plain.ForwardInference(x, &ws1);
+  Matrix* y_scaled = scaled.ForwardInference(x, &ws2);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(y_plain->At(i, j), y_scaled->At(i, j)) << "(" << i << ", " << j << ")";
+    }
+  }
+}
+
+// The per-channel variant obeys the same analytic error form as the plain
+// path, just in the scaled domain: activations x' = x / c, weights w' = w * c
+// (both as the fp32 products the layer actually rounded), so
+// |y_q - sum x'w'| <= sum_p |w'| ex + sum_p |x'| ew + k ex ew.
+TEST(QuantizedLinearTest, PerChannelEpilogueStaysWithinAnalyticBound) {
+  Rng rng(50);
+  const int m = 9, k = 26, n = 15;
+  Linear linear(k, n, &rng);
+  Matrix x = RandomMatrix(m, k, &rng, 2.0);
+  std::vector<float> col(static_cast<size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    col[static_cast<size_t>(p)] = static_cast<float>(0.25 + 4.0 * rng.Uniform(0.0, 1.0));
+  }
+  QuantizedLinear qlinear(linear, col);
+  Workspace ws;
+  Matrix* y_q = qlinear.ForwardInference(x, &ws);
+
+  const float qmax = static_cast<float>(ActivationQMax(k));
+  const std::vector<float>& inv_col = qlinear.inv_col_scales();
+  ASSERT_EQ(inv_col.size(), static_cast<size_t>(k));
+  const PackedQ8Weights& packed = qlinear.weights();
+  for (int i = 0; i < m; ++i) {
+    // The scaled-domain activations and per-row scale the layer derived.
+    std::vector<float> xs(static_cast<size_t>(k));
+    float absmax = 0.0f;
+    for (int p = 0; p < k; ++p) {
+      xs[static_cast<size_t>(p)] = x.At(i, p) * inv_col[static_cast<size_t>(p)];
+      absmax = std::max(absmax, std::abs(xs[static_cast<size_t>(p)]));
+    }
+    const float a_scale = absmax > 0.0f ? absmax / qmax : 1.0f;
+    for (int j = 0; j < n; ++j) {
+      // Scaled-domain fp32 reference (the exact float operands the layer
+      // quantized) and the propagated-error bound over them.
+      double ref = linear.bias().data()[j];
+      double bound = 0.0;
+      const double ex = 0.5 * a_scale;
+      const double ew = 0.5 * packed.scales[static_cast<size_t>(j)];
+      for (int p = 0; p < k; ++p) {
+        const double wp = static_cast<double>(linear.weight().At(p, j)) *
+                          (1.0 / inv_col[static_cast<size_t>(p)]);
+        ref += static_cast<double>(xs[static_cast<size_t>(p)]) * wp;
+        bound += std::abs(wp) * ex + std::abs(xs[static_cast<size_t>(p)]) * ew;
+      }
+      bound += k * ex * ew;
+      bound = bound * (1.0 + 1e-4) + 1e-5;
+      EXPECT_LE(std::abs(static_cast<double>(y_q->At(i, j)) - ref), bound)
+          << "element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+// ---- Shared quantization across consumers (the attention Q/K/V pattern) ----
+
+TEST(BalancedColumnScalesTest, SingleWeightDelegatesToMultiConsumer) {
+  Rng rng(51);
+  const int k = 12, n = 10;
+  Linear linear(k, n, &rng);
+  std::vector<float> est(static_cast<size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    est[static_cast<size_t>(p)] = static_cast<float>(0.1 + rng.Uniform(0.0, 1.0));
+  }
+  const std::vector<float> single = BalancedColumnScales(est, linear.weight());
+  const std::vector<float> multi = BalancedColumnScales(est, {&linear.weight()});
+  EXPECT_EQ(single, multi);
+}
+
+TEST(QuantizedLinearTest, ForwardPreQuantizedSharesOneQuantizationAcrossConsumers) {
+  Rng rng(52);
+  const int m = 8, k = 24, n = 24;
+  Linear wq(k, n, &rng), wk(k, n, &rng), wv(k, n, &rng);
+  Matrix x = RandomMatrix(m, k, &rng);
+  std::vector<float> est(static_cast<size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    est[static_cast<size_t>(p)] = static_cast<float>(0.2 + 2.0 * rng.Uniform(0.0, 1.0));
+  }
+  // ONE scale vector balanced against all three consumers, folded into each.
+  const std::vector<float> shared =
+      BalancedColumnScales(est, {&wq.weight(), &wk.weight(), &wv.weight()});
+  const QuantizedLinear q0(wq, shared), q1(wk, shared), q2(wv, shared);
+  ASSERT_EQ(q0.inv_col_scales(), q1.inv_col_scales());
+  ASSERT_EQ(q0.inv_col_scales(), q2.inv_col_scales());
+
+  // Quantize x once; feed the same codes to all three GEMMs.
+  const int ldq = 2 * q0.k2();
+  std::vector<int16_t> codes(static_cast<size_t>(m) * ldq);
+  std::vector<float> row_scales(static_cast<size_t>(m));
+  QuantizeActivationsPerRowScaled(m, k, x.data(), k, q0.inv_col_scales().data(), codes.data(),
+                                  ldq, row_scales.data());
+  const QuantizedLinear* consumers[3] = {&q0, &q1, &q2};
+  for (const QuantizedLinear* q : consumers) {
+    Workspace ws_pre, ws_direct;
+    Matrix* pre = q->ForwardPreQuantized(m, codes.data(), ldq, row_scales.data(), &ws_pre);
+    Matrix* direct = q->ForwardInference(x, &ws_direct);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        // ForwardInference is exactly quantize + ForwardPreQuantized.
+        ASSERT_EQ(pre->At(i, j), direct->At(i, j)) << "(" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+// ---- ISA dispatch of the quantize pass -------------------------------------
+
+// The vectorized (AVX2) quantizer must be BITWISE identical to the scalar
+// body — plain and per-channel, across vector-width tails and round-to-
+// nearest-even ties. This is what lets the quantize pass dispatch per ISA
+// without splitting the int8 tier's cross-ISA bitwise contract.
+TEST(QuantizeIsaTest, VectorizedQuantizerBitwiseMatchesScalar) {
+  const KernelIsa prev = ActiveKernelIsa();
+  if (!SetKernelIsa(KernelIsa::kAvx2)) {
+    GTEST_SKIP() << "AVX2 unavailable on this host/build";
+  }
+  SetKernelIsa(prev);
+  Rng rng(53);
+  for (int k : {1, 7, 8, 9, 16, 23, 64, 100}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const int rows = 5;
+    Matrix x = RandomMatrix(rows, k, &rng, 3.0);
+    // Row 0 is a tie-stress row: absmax equal to the code range makes the
+    // per-row scale exactly 1, so integer-and-a-half values hit exact
+    // round-to-nearest-even ties in both implementations.
+    const float qmax = static_cast<float>(ActivationQMax(k));
+    for (int p = 0; p < k; ++p) {
+      x.At(0, p) = (p % 2 == 0 ? 1.0f : -1.0f) * (static_cast<float>(p % 7) + 0.5f);
+    }
+    x.At(0, 0) = qmax;
+    std::vector<float> inv_col(static_cast<size_t>(k));
+    for (int p = 0; p < k; ++p) {
+      inv_col[static_cast<size_t>(p)] = static_cast<float>(0.25 + 2.0 * rng.Uniform(0.0, 1.0));
+    }
+    const int k2 = (k + 1) / 2;
+    const int ldq = 2 * k2;
+    for (bool scaled : {false, true}) {
+      SCOPED_TRACE(scaled ? "per-channel" : "plain");
+      std::vector<int16_t> q_scalar(static_cast<size_t>(rows) * ldq, -1);
+      std::vector<int16_t> q_avx2(static_cast<size_t>(rows) * ldq, -2);
+      std::vector<float> s_scalar(rows, -1.0f), s_avx2(rows, -2.0f);
+      auto run = [&](std::vector<int16_t>* q, std::vector<float>* s) {
+        if (scaled) {
+          QuantizeActivationsPerRowScaled(rows, k, x.data(), k, inv_col.data(), q->data(),
+                                          ldq, s->data());
+        } else {
+          QuantizeActivationsPerRow(rows, k, x.data(), k, q->data(), ldq, s->data());
+        }
+      };
+      ASSERT_TRUE(SetKernelIsa(KernelIsa::kScalar));
+      run(&q_scalar, &s_scalar);
+      ASSERT_TRUE(SetKernelIsa(KernelIsa::kAvx2));
+      run(&q_avx2, &s_avx2);
+      SetKernelIsa(prev);
+      EXPECT_EQ(q_scalar, q_avx2);
+      EXPECT_EQ(s_scalar, s_avx2);
+    }
+  }
+}
+
+// ---- i32-overflow headroom across the widened (encoder) shape range --------
+
+// Runtime mirror of the static_asserts in quantize.h: every reduction length
+// the data plane can see — and far beyond — keeps k * qmax * 127 inside the
+// i32 accumulator, with the code range shrinking gradually once k demands it.
+TEST(ActivationQMaxTest, HeadroomHoldsAcrossEncoderShapesAndBeyond) {
+  const int64_t cap = (static_cast<int64_t>(1) << 31) - 1;
+  // Encoder-era reduction lengths all get the full 12-bit code range:
+  // features (38), d_model (64), d_ff (128), head inputs up to 4096.
+  for (int k : {1, 38, 64, 128, 256, 4096}) {
+    EXPECT_EQ(ActivationQMax(k), 4095) << "k=" << k;
+  }
+  int prev_qmax = ActivationQMax(1);
+  for (int k : {1, 38, 64, 128, 4096, 4131, 4132, 8192, 1 << 16, 1 << 20, 1 << 24}) {
+    const int qmax = ActivationQMax(k);
+    EXPECT_GE(qmax, 1) << "k=" << k;
+    EXPECT_LE(qmax, 4095) << "k=" << k;
+    EXPECT_LE(qmax, prev_qmax) << "code range must shrink monotonically, k=" << k;
+    EXPECT_LE(static_cast<int64_t>(k) * qmax * 127, cap) << "k=" << k;
+    prev_qmax = qmax;
+  }
+  // The shrink engages exactly where the bound demands, without a cliff.
+  EXPECT_LT(ActivationQMax(8192), 4095);
+  EXPECT_GE(ActivationQMax(8192), 2048);
+}
+
 TEST(WorkspaceTest, I16ArenaReusesBuffersAcrossReset) {
   Workspace ws;
   int16_t* a = ws.NewI16(256);

@@ -340,18 +340,21 @@ AstBatchView ViewOf(const TestWorld& w) {
 
 // The serving contract, acceptance-gated: PredictBatched output is bitwise
 // identical across CDMPP_NUM_THREADS in {1, 2, 8} and across batch splits,
-// for fp32 and int8, under both ISAs.
+// for every precision mode (fp32, the pre-encoder int8-heads subset, and the
+// full int8 encoder tier), under both ISAs.
 TEST(ThreadInvarianceTest, PredictBatchedBitwiseAcrossThreadCountsFp32AndInt8) {
   TestWorld& w = World();
   AstBatchView view = ViewOf(w);
-  for (bool quantized : {false, true}) {
-    SCOPED_TRACE(quantized ? "int8" : "fp32");
+  for (Precision mode : {Precision::kFp32, Precision::kInt8Heads, Precision::kInt8}) {
+    const bool quantized = mode != Precision::kFp32;
+    SCOPED_TRACE(PrecisionName(mode));
     ForEachIsa([&] {
       auto predict_batched = [&](std::vector<double>* out) {
         Workspace ws;
         out->assign(view.size(), -1.0);
         if (quantized) {
-          w.predictor->PredictBatchedQuantized(view, &ws, out->data());
+          w.predictor->PredictBatchedQuantized(view, &ws, out->data(),
+                                               /*num_forward_passes=*/nullptr, mode);
         } else {
           w.predictor->PredictBatched(view, &ws, out->data());
         }
@@ -379,7 +382,8 @@ TEST(ThreadInvarianceTest, PredictBatchedBitwiseAcrossThreadCountsFp32AndInt8) {
           one.device_ids = {0};
           double pred = -1.0;
           if (quantized) {
-            w.predictor->PredictBatchedQuantized(one, &single_ws, &pred);
+            w.predictor->PredictBatchedQuantized(one, &single_ws, &pred,
+                                                 /*num_forward_passes=*/nullptr, mode);
           } else {
             w.predictor->PredictBatched(one, &single_ws, &pred);
           }
