@@ -159,8 +159,10 @@ CdmppPredictor::BatchForward CdmppPredictor::Forward(const Dataset& ds, const Ba
   return out;
 }
 
-void CdmppPredictor::Backward(const Batch& batch, const Matrix& dpred,
+void CdmppPredictor::Backward(const Batch& /*batch*/, const Matrix& dpred,
                               const Matrix& dz_extra) {
+  // The batch itself is not re-read here: every activation the backward pass
+  // needs was cached by the preceding Forward (cached_batch_size_ et al.).
   const int b = cached_batch_size_;
   const int l = cached_seq_len_;
   Matrix dz;

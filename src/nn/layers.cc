@@ -29,9 +29,8 @@ Matrix Linear::Forward(const Matrix& x) {
 }
 
 Matrix Linear::ForwardInference(const Matrix& x) const {
-  Matrix y(x.rows(), w_.value.cols());
-  ApplyLinear(x, kernels::Activation::kNone, &y);
-  return y;
+  Workspace ws;
+  return *ForwardInference(x, &ws);
 }
 
 Matrix* Linear::ForwardInference(const Matrix& x, Workspace* ws,
@@ -64,14 +63,8 @@ Matrix Relu::Forward(const Matrix& x) {
 }
 
 Matrix Relu::ForwardInference(const Matrix& x) const {
-  Matrix y = x;
-  for (int i = 0; i < y.rows(); ++i) {
-    float* row = y.Row(i);
-    for (int j = 0; j < y.cols(); ++j) {
-      row[j] = std::max(0.0f, row[j]);
-    }
-  }
-  return y;
+  Workspace ws;
+  return *ForwardInference(x, &ws);
 }
 
 Matrix* Relu::ForwardInference(const Matrix& x, Workspace* ws) const {
@@ -194,9 +187,8 @@ void LayerNormRowsInto(const Matrix& x, const float* gamma, const float* beta, f
 }  // namespace
 
 Matrix LayerNorm::ForwardInference(const Matrix& x) const {
-  Matrix y(x.rows(), x.cols());
-  LayerNormRowsInto(x, gamma_.value.Row(0), beta_.value.Row(0), kEps, &y);
-  return y;
+  Workspace ws;
+  return *ForwardInference(x, &ws);
 }
 
 Matrix* LayerNorm::ForwardInference(const Matrix& x, Workspace* ws) const {

@@ -34,6 +34,14 @@ double LogHistogram::BucketMidpoint(int index) {
   return std::ldexp(mid_frac, exp);
 }
 
+// All bucket traffic below is memory_order_relaxed by design: every bucket
+// is an independent uint64 tally and the histogram carries no out-of-band
+// payload, so there is nothing for acquire/release to order. Readers
+// (Snapshot/TotalCount/Merge) take a statistically-consistent sweep — a
+// concurrent Add may land in either the old or new reading, which is within
+// the instrument's contract. Anything that must observe "all samples up to
+// event X" must create its own happens-before with the recording threads
+// (e.g. ServerStats snapshots after joining the workers in Shutdown).
 void LogHistogram::Add(double value, uint64_t n) {
   if (n == 0) {
     return;

@@ -60,6 +60,9 @@ inline int CounterSlot() {
 }  // namespace detail
 
 inline bool MetricsEnabled() {
+  // Relaxed: a standalone kill-switch flag. No data is published through it
+  // (instruments are self-contained atomics), so readers need no ordering —
+  // a stale read only means one more/fewer sample near the toggle instant.
   return detail::g_metrics_enabled.load(std::memory_order_relaxed);
 }
 void SetMetricsEnabled(bool enabled);
@@ -83,9 +86,16 @@ class Counter {
       std::atomic<uint64_t>& cell = cells_[slot].v;
       cell.store(cell.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
     } else {
+      // Shared overflow cell (slot exhaustion / retired threads): a real RMW,
+      // still relaxed — the count is the only payload, nothing is ordered
+      // against it.
       overflow_.fetch_add(n, std::memory_order_relaxed);
     }
   }
+  // Statistical snapshot. Relaxed reads: each cell is individually exact
+  // (single writer), but the sweep is not a cross-cell atomic snapshot —
+  // concurrent Adds may or may not be included. Callers use the total as a
+  // measurement, never as a synchronization signal, so no acquire is needed.
   uint64_t Value() const {
     uint64_t total = overflow_.load(std::memory_order_relaxed);
     for (int i = 0; i < detail::kCounterSlots; ++i) {
@@ -93,6 +103,8 @@ class Counter {
     }
     return total;
   }
+  // Relaxed stores mirror Value(): concurrent Adds land either in the old or
+  // the new measurement window, both of which are valid readings.
   void Reset() {
     for (int i = 0; i < detail::kCounterSlots; ++i) {
       cells_[i].v.store(0, std::memory_order_relaxed);
@@ -122,6 +134,9 @@ class Gauge {
     }
     uint64_t bits = 0;
     std::memcpy(&bits, &value, sizeof(bits));
+    // Relaxed: the gauge IS the whole payload — one 64-bit cell, no side
+    // data for an acquire/release pair to protect. Readers get some
+    // recently-written value, which is the gauge contract.
     bits_.store(bits, std::memory_order_relaxed);
   }
   double Value() const {

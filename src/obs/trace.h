@@ -174,6 +174,11 @@ class TraceCollector {
   // with a stderr warning for malformed values).
   static TraceCollector& Global();
 
+  // Relaxed on both sides: sample_every_ is a self-contained rate knob. A
+  // rate change publishes no other data, so a racing ShouldSample() reading
+  // the old rate for one more request is correct behavior, not a reorder
+  // hazard. Completed traces are handed to the collector under its mutex,
+  // which is the actual happens-before edge for trace payloads.
   int sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
   void SetSampleEvery(int n) { sample_every_.store(n, std::memory_order_relaxed); }
   // True 1-in-N by arrival order; false always when sampling is disabled

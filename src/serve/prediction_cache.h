@@ -60,6 +60,9 @@ class PredictionCache {
   size_t capacity() const { return capacity_; }
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
+  // Relaxed: pure tallies read for reporting. Cache entries themselves are
+  // only ever touched under the owning shard's mutex — that lock is the
+  // happens-before edge for cached data; these counters order nothing.
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }

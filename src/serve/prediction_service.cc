@@ -72,6 +72,18 @@ void PredictionService::Shutdown() {
   }
 }
 
+void PredictionService::Recalibrate() {
+  if (options_.precision == Precision::kFp32) {
+    return;
+  }
+  // Exclusive lock: waits out in-flight forwards (shared holders), swaps the
+  // quantized snapshots, and releases. PrepareQuantizedInference rebuilds the
+  // quantized head map from every materialized fp32 head, so leaf counts the
+  // service has already served stay covered after the swap.
+  std::unique_lock<std::shared_mutex> lock(model_mu_);
+  predictor_->PrepareQuantizedInference();
+}
+
 void PredictionService::StatsLoggerLoop() {
   ServerStatsSnapshot prev = Stats();
   std::unique_lock<std::mutex> lock(logger_mu_);

@@ -99,6 +99,21 @@ class PredictionService {
   // run by the destructor. Submit must not be called afterwards.
   void Shutdown();
 
+  // Re-derives the predictor's int8 calibration snapshots (encoder, device
+  // MLP, decoder, and every quantized head seen so far) from its CURRENT fp32
+  // parameters, under the exclusive model lock: in-flight batched forwards
+  // finish on the old snapshots first (they hold the shared lock), requests
+  // served afterwards read the new ones, and no traffic is dropped. This is
+  // the only safe way to re-calibrate a live service — calling
+  // predictor->PrepareQuantizedInference() directly while workers run races
+  // the snapshot swap against the lock-free forwards reading it
+  // (tests/tsan_stress_test.cc exercises this path under ThreadSanitizer).
+  // No-op in fp32 mode, where there are no snapshots to refresh. Because the
+  // snapshots are a deterministic function of the fp32 parameters,
+  // recalibrating without an intervening parameter change is bitwise
+  // invisible to clients. Thread-safe; callable from any non-worker thread.
+  void Recalibrate();
+
   ServerStatsSnapshot Stats() const {
     ServerStatsSnapshot s = stats_.Snapshot();
     s.precision = PrecisionName(options_.precision);

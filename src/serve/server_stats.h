@@ -58,6 +58,14 @@ struct ServerStatsSnapshot {
   std::string ToString() const;
 };
 
+// Every atomic below uses memory_order_relaxed deliberately: each counter is
+// an independent tally with no associated payload to publish, and Snapshot()
+// is a statistical reading, not a synchronization point — a concurrent
+// Record* lands in either the pre- or post-snapshot window, both valid.
+// Code that needs "all requests up to event X counted" must establish its
+// own happens-before with the recording threads; PredictionService does so
+// by joining its workers in Shutdown() before the final Stats() call (the
+// join is a synchronizes-with edge, so relaxed counts are complete there).
 class ServerStats {
  public:
   ServerStats();

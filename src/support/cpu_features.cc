@@ -56,6 +56,11 @@ bool CpuSupportsAvx2Fma() {
   return supported;
 }
 
+// Relaxed on the ISA slot: it selects between kernel implementations that
+// are pure functions of their arguments — no data is published alongside
+// the enum, so there is no ordering for acquire/release to enforce. Tests
+// that flip the ISA then assert on results do both from the same thread
+// (sequenced-before covers them).
 KernelIsa ActiveKernelIsa() {
   return static_cast<KernelIsa>(ActiveIsaSlot().load(std::memory_order_relaxed));
 }

@@ -78,11 +78,20 @@ struct ThreadPool::Impl {
   // bodies are skipped.
   void Drain() {
     for (;;) {
+      // Relaxed claim: the ticket value itself is the entire communication —
+      // each executor gets a disjoint [i, e) range from the atomic RMW
+      // regardless of ordering. The region inputs (fn/ctx/end/grain) were
+      // published by the descriptor write under `mu` and acquired by this
+      // executor's own `mu` critical section on region entry, so the chunk
+      // body never depends on this load for visibility.
       const int64_t i = next.fetch_add(grain, std::memory_order_relaxed);
       if (i >= end) {
         return;
       }
       const int64_t e = std::min(end, i + grain);
+      // Relaxed: `failed` is advisory (skip remaining bodies sooner); the
+      // exception itself travels through `error` under `mu`, and the caller
+      // only reads it after the executors==0 barrier on `done_cv`.
       if (!failed.load(std::memory_order_relaxed)) {
         try {
           fn(ctx, i, e);
@@ -210,6 +219,11 @@ void ThreadPool::RunImpl(int64_t begin, int64_t end, int64_t grain,
     impl_->ctx = ctx;
     impl_->end = end;
     impl_->grain = grain;
+    // Relaxed stores are sufficient for the two atomics: this whole
+    // descriptor write happens under `mu` with executors == 0, and every
+    // worker re-acquires `mu` before entering the region — the mutex is the
+    // happens-before edge that publishes next/failed along with the plain
+    // fields above.
     impl_->failed.store(false, std::memory_order_relaxed);
     impl_->error = nullptr;
     impl_->next.store(begin, std::memory_order_relaxed);

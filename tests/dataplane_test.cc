@@ -31,12 +31,19 @@ static void* CountedAlloc(std::size_t size) {
   throw std::bad_alloc();
 }
 
+// These replacements pair consistently: operator new hands out malloc-backed
+// memory, so operator delete must free() it. GCC's -Wmismatched-new-delete
+// heuristic inlines CountedAlloc, sees new/free at call sites, and cannot
+// tell that these definitions ARE the matching pair — suppress it here only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) { return CountedAlloc(size); }
 void* operator new[](std::size_t size) { return CountedAlloc(size); }
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace cdmpp {
 namespace {

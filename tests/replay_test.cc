@@ -41,10 +41,10 @@ TEST(ReplayTest, GapAddsPerNode) {
 
 TEST(ReplayTest, DiamondRespectsCriticalPath) {
   //    0 (1s)
-  //   /       \
+  //   /       \.
   //  1 (5s)    2 (1s)
   //   \       /
-  //    3 (1s)
+  //    3 (1s)       (the trailing dot keeps -Wcomment quiet)
   Dfg dfg = MakeDfg({1.0, 5.0, 1.0, 1.0}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
   // One queue: everything serializes = 8s.
   EXPECT_DOUBLE_EQ(Replay(dfg, 1).iteration_seconds, 8.0);

@@ -1,0 +1,260 @@
+// Adversarial concurrency stress for the serving data plane. Built for the
+// ThreadSanitizer CI tier but registered in EVERY leg: without TSan it is a
+// plain race-prone stress test whose value assertions (bitwise-stable served
+// predictions under maximal interference) catch corruption the sanitizer
+// tier proves impossible.
+//
+// One test drives, concurrently:
+//   * several client threads hammering PredictionService::Submit (duplicate
+//     keys included, so coalescing and the cache-hit fast path both fire),
+//   * a recalibration thread re-preparing the int8 snapshots through
+//     PredictionService::Recalibrate() — the exclusive-model-lock API;
+//     calling predictor->PrepareQuantizedInference() directly here would be
+//     a data race on the snapshot pointers against the workers' lock-free
+//     forwards, which is exactly why the API exists,
+//   * a stats thread cycling ServerStats::Snapshot / ResetStats / ToString
+//     plus MetricsRegistry and TraceCollector dumps,
+//   * a WorkspacePool churn thread leasing/returning global-pool arenas
+//     (nested leases included), and
+//   * 1-in-2 trace sampling, so ScopedTraceBinding/ScopedSpan/Emit run hot,
+// all under a deliberately small 3-thread global ThreadPool so intra-request
+// ParallelFor forking, lease traffic, and worker-level batching fight over
+// the same workers instead of spreading out.
+//
+// The pinned contract: every future resolves to the bitwise-exact value the
+// active precision's direct forward computes, no matter how the interleaving
+// falls — recalibration from unchanged parameters is bitwise invisible.
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/predictor.h"
+#include "src/nn/workspace.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/serve/prediction_service.h"
+#include "src/support/cpu_features.h"
+#include "src/support/parallel_for.h"
+#include "src/support/rng.h"
+#include "src/tir/schedule.h"
+
+namespace cdmpp {
+namespace {
+
+// Routes ThreadPool::Global() to a private pool for the enclosing scope.
+struct ScopedGlobalPool {
+  explicit ScopedGlobalPool(int threads) : pool(threads) {
+    ThreadPool::SetGlobalForTesting(&pool);
+  }
+  ~ScopedGlobalPool() { ThreadPool::SetGlobalForTesting(nullptr); }
+  ThreadPool pool;
+};
+
+// Forces 1-in-N trace sampling for the enclosing scope.
+struct ScopedTraceSampling {
+  explicit ScopedTraceSampling(int n) : prev(obs::TraceCollector::Global().sample_every()) {
+    obs::TraceCollector::Global().SetSampleEvery(n);
+  }
+  ~ScopedTraceSampling() { obs::TraceCollector::Global().SetSampleEvery(prev); }
+  int prev;
+};
+
+struct StressWorld {
+  Dataset ds;
+  std::unique_ptr<CdmppPredictor> predictor;
+  std::vector<CompactAst> workload;
+  std::vector<double> expected;  // per workload item, active-precision forward
+};
+
+// One tiny trained world shared by both tests (training dominates runtime).
+StressWorld& World() {
+  static StressWorld* world = [] {
+    auto* w = new StressWorld();
+    DatasetOptions opts;
+    opts.device_ids = {0};
+    opts.schedules_per_task = 2;
+    opts.max_networks = 4;
+    opts.seed = 23;
+    w->ds = BuildDataset(opts);
+
+    PredictorConfig cfg;
+    cfg.d_model = 16;
+    cfg.num_heads = 2;
+    cfg.d_ff = 32;
+    cfg.num_layers = 1;
+    cfg.z_dim = 16;
+    cfg.device_embed_dim = 8;
+    cfg.device_hidden_dim = 16;
+    cfg.decoder_hidden = {16};
+    cfg.epochs = 1;
+    cfg.seed = 7;
+    w->predictor = std::make_unique<CdmppPredictor>(cfg);
+    Rng rng(29);
+    SplitIndices split = SplitDataset(w->ds, {0}, {}, &rng);
+    w->predictor->Pretrain(w->ds, split.train, split.valid);
+
+    Rng srng(31);
+    for (const TaskInfo& info : w->ds.tasks) {
+      for (int k = 0; k < 2; ++k) {
+        w->workload.push_back(
+            ExtractCompactAst(GenerateProgram(info.task, SampleSchedule(info.task, &srng))));
+      }
+    }
+    // Expectations come from the data plane the service will actually use
+    // (the active CDMPP_PRECISION, so this test is meaningful on every CI
+    // matrix leg). Quantized snapshots are a deterministic function of the
+    // fp32 parameters: the service constructor's own PrepareQuantizedInference
+    // and every later Recalibrate() rebuild bitwise-identical ones.
+    const Precision mode = DefaultPrecision();
+    if (mode != Precision::kFp32) {
+      w->predictor->PrepareQuantizedInference();
+    }
+    for (const CompactAst& ast : w->workload) {
+      if (mode != Precision::kFp32) {
+        w->predictor->EnsureQuantizedHead(ast.num_leaves);
+      } else {
+        w->predictor->EnsureHead(ast.num_leaves);
+      }
+    }
+    for (const CompactAst& ast : w->workload) {
+      AstBatchView one;
+      one.asts.push_back(&ast);
+      one.device_ids.push_back(0);
+      w->expected.push_back(mode != Precision::kFp32
+                                ? w->predictor->PredictBatchedQuantized(one, nullptr, mode)[0]
+                                : w->predictor->PredictBatched(one)[0]);
+    }
+    return w;
+  }();
+  return *world;
+}
+
+// Serial regression pin for the concurrent contract below: recalibrating
+// from unchanged parameters must be bitwise invisible to served values.
+// (If this drifts, the stress test's equality assertions become meaningless
+// noise instead of a corruption detector.)
+TEST(TsanStressTest, RecalibrateFromUnchangedParamsIsBitwiseInvisible) {
+  StressWorld& w = World();
+  ServeOptions opts;
+  opts.num_workers = 1;
+  opts.enable_cache = false;  // every Predict runs a real forward
+  PredictionService service(w.predictor.get(), opts);
+  std::vector<double> before;
+  before.reserve(w.workload.size());
+  for (const CompactAst& ast : w.workload) {
+    before.push_back(service.Predict(ast, 0));
+  }
+  service.Recalibrate();
+  for (size_t i = 0; i < w.workload.size(); ++i) {
+    EXPECT_EQ(service.Predict(w.workload[i], 0), before[i]) << "request " << i;
+    EXPECT_EQ(before[i], w.expected[i]) << "request " << i;
+  }
+}
+
+TEST(TsanStressTest, ConcurrentSubmitRecalibrateStatsTraceAndPoolChurn) {
+  StressWorld& w = World();
+  ScopedGlobalPool pool(3);      // small: forking + leases contend for real
+  ScopedTraceSampling trace(2);  // every other request runs the trace plumbing
+
+  ServeOptions opts;
+  opts.num_workers = 3;
+  opts.batch_window_ms = 0.05;
+  opts.cache_capacity = 64;  // small enough that churn forces LRU evictions
+  opts.cache_shards = 4;
+  PredictionService service(w.predictor.get(), opts);
+
+  constexpr int kSubmitters = 3;
+  constexpr int kSubmitsPerThread = 400;
+  std::atomic<bool> done{false};
+  std::atomic<int> value_mismatches{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(100 + t);
+      std::vector<std::pair<size_t, std::future<double>>> pending;
+      pending.reserve(kSubmitsPerThread);
+      for (int i = 0; i < kSubmitsPerThread; ++i) {
+        // Skewed index: low indices repeat often (coalescing + cache hits),
+        // the tail keeps evicting entries from the small cache.
+        const size_t idx = static_cast<size_t>(rng.Uniform(0.0, 1.0) * rng.Uniform(0.0, 1.0) *
+                                               static_cast<double>(w.workload.size())) %
+                           w.workload.size();
+        pending.emplace_back(idx, service.Submit(w.workload[idx], 0));
+        if (pending.size() >= 64) {
+          for (auto& [j, fut] : pending) {
+            if (fut.get() != w.expected[j]) {
+              value_mismatches.fetch_add(1);
+            }
+          }
+          pending.clear();
+        }
+      }
+      for (auto& [j, fut] : pending) {
+        if (fut.get() != w.expected[j]) {
+          value_mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::thread recalibrator([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      service.Recalibrate();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread stats_reader([&] {
+    int iter = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      ServerStatsSnapshot snap = service.Stats();
+      (void)snap.ToString();
+      if (++iter % 8 == 0) {
+        service.ResetStats();  // racing Record* calls land in the new window
+      }
+      (void)obs::TraceCollector::Global().GetStats();
+      (void)obs::MetricsRegistry::Global().DumpJson();
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  std::thread pool_churn([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      WorkspacePool::Lease outer = WorkspacePool::Global().Acquire();
+      outer->NewMatrix(8, 8);
+      {
+        WorkspacePool::Lease nested = WorkspacePool::Global().Acquire();
+        nested->NewMatrix(4, 4);
+        nested->NewI16(32);
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  for (std::thread& c : clients) {
+    c.join();
+  }
+  done.store(true, std::memory_order_relaxed);
+  recalibrator.join();
+  stats_reader.join();
+  pool_churn.join();
+
+  EXPECT_EQ(value_mismatches.load(), 0)
+      << "a served prediction deviated bitwise from the direct forward";
+  // Stats were concurrently Reset, so only structural sanity is asserted.
+  EXPECT_LE(service.cache().size(), opts.cache_capacity);
+  service.Shutdown();
+  ServerStatsSnapshot final_snap = service.Stats();
+  EXPECT_LE(final_snap.cache_hits, final_snap.requests);
+}
+
+}  // namespace
+}  // namespace cdmpp
