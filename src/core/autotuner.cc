@@ -1,5 +1,12 @@
 #include "src/core/autotuner.h"
 
+#include <cmath>
+#include <memory>
+
+#include "src/search/cost_model_client.h"
+#include "src/serve/prediction_service.h"
+#include "src/support/check.h"
+
 namespace cdmpp {
 
 PredictorConfig SampleConfig(Rng* rng) {
@@ -31,21 +38,81 @@ PredictorConfig SampleConfig(Rng* rng) {
   return cfg;
 }
 
+namespace {
+
+// Validation MAPE of one trial's trained predictor, computed through the
+// client seam: all validation (AST, device) pairs go out as one population.
+// Returns the mean of |pred - truth| / truth over samples with truth > 0.
+double ScoreTrial(const Dataset& ds, const std::vector<int>& valid,
+                  CostModelClient* client) {
+  std::vector<CostQuery> queries;
+  queries.reserve(valid.size());
+  for (int s : valid) {
+    const Sample& sample = ds.samples[static_cast<size_t>(s)];
+    queries.push_back(
+        CostQuery{&ds.programs[static_cast<size_t>(sample.program_index)].ast,
+                  sample.device_id});
+  }
+  std::vector<double> predictions;
+  client->ScoreBatch(queries, &predictions);
+
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < valid.size(); ++i) {
+    const double truth = ds.samples[static_cast<size_t>(valid[i])].latency_seconds;
+    if (truth > 0.0) {
+      sum += std::abs(predictions[i] - truth) / truth;
+      ++counted;
+    }
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace
+
 AutotuneResult Autotune(const Dataset& ds, const std::vector<int>& train,
                         const std::vector<int>& valid, const AutotuneOptions& opts) {
   Rng rng(opts.seed);
   AutotuneResult result;
+  uint64_t cache_hits = 0;
+  uint64_t serve_requests = 0;
   for (int t = 0; t < opts.num_trials; ++t) {
     AutotuneTrial trial;
     trial.config = SampleConfig(&rng);
     trial.config.epochs = opts.epochs_per_trial;
     CdmppPredictor predictor(trial.config);
     TrainStats stats = predictor.Pretrain(ds, train, valid);
-    trial.valid_mape = stats.final_valid.mape;
+    if (valid.empty()) {
+      // Nothing to score through the client; keep the training loop's number.
+      trial.valid_mape = stats.final_valid.mape;
+    } else if (opts.scoring == TrialScoring::kServe) {
+      ServeOptions serve_opts;
+      serve_opts.num_workers = opts.serve_workers;
+      // The client bulk-enqueues the whole validation set per trial; a batch
+      // window would only add sleep (see ServeCostModel).
+      serve_opts.batch_window_ms = 0.0;
+      PredictionService service(&predictor, serve_opts);
+      ServeCostModel client(&service);
+      trial.valid_mape = ScoreTrial(ds, valid, &client);
+      result.scored_candidates += client.stats().queries;
+      result.scoring_seconds += client.stats().score_seconds;
+      const ServerStatsSnapshot snap = service.Stats();
+      cache_hits += snap.cache_hits;
+      serve_requests += snap.requests;
+    } else {
+      DirectCostModel client(&predictor);
+      trial.valid_mape = ScoreTrial(ds, valid, &client);
+      result.scored_candidates += client.stats().queries;
+      result.scoring_seconds += client.stats().score_seconds;
+    }
     if (trial.valid_mape < result.best.valid_mape) {
       result.best = trial;
     }
     result.trials.push_back(std::move(trial));
+  }
+  if (serve_requests > 0) {
+    result.scoring_cache_hit_rate =
+        static_cast<double>(cache_hits) / static_cast<double>(serve_requests);
   }
   return result;
 }

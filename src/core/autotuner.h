@@ -3,6 +3,16 @@
 // scoring each trial by short-training validation MAPE. The paper uses
 // Optuna with ~1000 trials; here the trial budget is configurable and the
 // search strategy is plain random sampling, which reproduces the workflow.
+//
+// Trial scoring (the prediction of every validation sample under the trial's
+// freshly trained predictor) routes through the CostModelClient seam
+// (src/search/cost_model_client.h): kServe stands up a PredictionService per
+// trial and scores the whole validation set as one batched population —
+// dedup, leaf-count-bucketed forwards, and the prediction cache all apply —
+// while kDirect keeps the serial one-forward-per-sample baseline. Both
+// produce bitwise-identical MAPEs for the same seed (PredictBatched is
+// batch-size-invariant), so the choice is a throughput knob, not a quality
+// one; tests/search_test.cc pins the parity.
 #ifndef SRC_CORE_AUTOTUNER_H_
 #define SRC_CORE_AUTOTUNER_H_
 
@@ -10,10 +20,17 @@
 
 namespace cdmpp {
 
+// How each trial's validation set is scored. kServe batches through a
+// per-trial PredictionService; kDirect runs serial size-1 forwards.
+enum class TrialScoring { kServe, kDirect };
+
 struct AutotuneOptions {
   int num_trials = 12;
   int epochs_per_trial = 6;
   uint64_t seed = 1234;
+  TrialScoring scoring = TrialScoring::kServe;
+  // Worker-pool width of the per-trial PredictionService (kServe only).
+  int serve_workers = 2;
 };
 
 struct AutotuneTrial {
@@ -24,6 +41,12 @@ struct AutotuneTrial {
 struct AutotuneResult {
   AutotuneTrial best;
   std::vector<AutotuneTrial> trials;
+  // Client-seam traffic accounting, accumulated across trials: validation
+  // samples pushed through ScoreBatch, wall-clock spent scoring, and (kServe
+  // only) the fraction answered by the prediction cache.
+  uint64_t scored_candidates = 0;
+  double scoring_seconds = 0.0;
+  double scoring_cache_hit_rate = 0.0;
 };
 
 // Samples one configuration from the search space of Appendix B.

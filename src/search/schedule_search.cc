@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "src/support/check.h"
 
@@ -17,10 +18,12 @@ double Measure(const Task& task, const ScheduleDesc& sched, const DeviceSpec& de
 }  // namespace
 
 SearchCurve EvolutionarySearch(const Task& task, const DeviceSpec& device,
-                               const CostModelFn& cost_model, const SearchOptions& opts) {
+                               CostModelClient* client, const SearchOptions& opts) {
+  CDMPP_CHECK(client != nullptr);
   Rng rng(opts.seed);
   SearchCurve curve;
   double best = std::numeric_limits<double>::max();
+  const double score_seconds_at_entry = client->stats().score_seconds;
 
   // Seed population.
   std::vector<ScheduleDesc> population;
@@ -30,24 +33,46 @@ SearchCurve EvolutionarySearch(const Task& task, const DeviceSpec& device,
   }
   std::vector<ScheduleDesc> elite;  // measured good candidates seed mutations
 
+  // Reused per round: extracted ASTs (kept alive across ScoreBatch — the
+  // CostQuery borrow contract), query list, index-ordered scores.
+  std::vector<CompactAst> asts;
+  std::vector<CostQuery> queries;
+  std::vector<double> scores;
+
   for (int round = 0; round < opts.rounds; ++round) {
-    // Rank the population with the cost model.
+    // Extract every candidate's AST, then rank the whole population with ONE
+    // ScoreBatch. The score vector is index-ordered by contract, so ranking
+    // below is independent of how the client evaluated it.
+    asts.clear();
+    asts.reserve(population.size());
+    for (const ScheduleDesc& cand : population) {
+      asts.push_back(ExtractCompactAst(GenerateProgram(task, cand)));
+    }
+    queries.clear();
+    queries.reserve(asts.size());
+    for (const CompactAst& ast : asts) {
+      queries.push_back(CostQuery{&ast, device.id});
+    }
+    client->ScoreBatch(queries, &scores);
+    curve.total_candidates += static_cast<int>(queries.size());
+
     std::vector<std::pair<double, size_t>> scored;
-    scored.reserve(population.size());
-    for (size_t i = 0; i < population.size(); ++i) {
-      TensorProgram prog = GenerateProgram(task, population[i]);
-      CompactAst ast = ExtractCompactAst(prog);
-      scored.emplace_back(cost_model(ast, device.id), i);
+    scored.reserve(scores.size());
+    for (size_t i = 0; i < scores.size(); ++i) {
+      scored.emplace_back(scores[i], i);  // (score, index): stable tiebreak
     }
     std::sort(scored.begin(), scored.end());
 
     // Measure the top candidates on the "device".
     for (int m = 0; m < opts.measured_per_round && m < static_cast<int>(scored.size()); ++m) {
-      const ScheduleDesc& cand = population[scored[static_cast<size_t>(m)].second];
+      const size_t idx = scored[static_cast<size_t>(m)].second;
+      const ScheduleDesc& cand = population[idx];
       double latency = Measure(task, cand, device);
       ++curve.total_measurements;
       if (latency < best) {
         best = latency;
+        curve.best_schedule = cand;
+        curve.best_ast_hash = asts[idx].Hash();
         elite.clear();
         elite.push_back(cand);
       } else if (elite.size() < 4) {
@@ -69,7 +94,14 @@ SearchCurve EvolutionarySearch(const Task& task, const DeviceSpec& device,
     population = std::move(next);
   }
   curve.final_best = best;
+  curve.score_seconds = client->stats().score_seconds - score_seconds_at_entry;
   return curve;
+}
+
+SearchCurve EvolutionarySearch(const Task& task, const DeviceSpec& device,
+                               const CostModelFn& cost_model, const SearchOptions& opts) {
+  FnCostModel client(cost_model);
+  return EvolutionarySearch(task, device, &client, opts);
 }
 
 SearchCurve RandomSearch(const Task& task, const DeviceSpec& device, const SearchOptions& opts) {
@@ -78,9 +110,15 @@ SearchCurve RandomSearch(const Task& task, const DeviceSpec& device, const Searc
   double best = std::numeric_limits<double>::max();
   for (int round = 0; round < opts.rounds; ++round) {
     for (int m = 0; m < opts.measured_per_round; ++m) {
-      double latency = Measure(task, SampleSchedule(task, &rng), device);
+      ScheduleDesc cand = SampleSchedule(task, &rng);
+      TensorProgram prog = GenerateProgram(task, cand);
+      double latency = SimulateLatencyDeterministic(prog, device);
       ++curve.total_measurements;
-      best = std::min(best, latency);
+      if (latency < best) {
+        best = latency;
+        curve.best_schedule = std::move(cand);
+        curve.best_ast_hash = ExtractCompactAst(prog).Hash();
+      }
     }
     curve.best_after_round.push_back(best);
   }

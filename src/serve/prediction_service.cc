@@ -102,7 +102,8 @@ void PredictionService::StatsLoggerLoop() {
   }
 }
 
-std::future<double> PredictionService::Submit(const CompactAst& ast, int device_id) {
+bool PredictionService::BuildRequest(const CompactAst& ast, int device_id, bool copy_ast,
+                                     Request* req, std::future<double>* ready) {
   const auto t0 = std::chrono::steady_clock::now();
   CDMPP_CHECK(ast.num_leaves > 0);
   CacheKey key{ast.Hash(), DeviceById(device_id).Fingerprint()};
@@ -116,8 +117,8 @@ std::future<double> PredictionService::Submit(const CompactAst& ast, int device_
       stats_.RecordRequest();
       stats_.RecordCacheHits();
       stats_.RecordLatencyMs(MsSince(t0));
-      std::promise<double> ready;
-      ready.set_value(cached);
+      std::promise<double> resolved;
+      resolved.set_value(cached);
       if (traced) {
         // The whole submit-path hit is the cache lookup stage.
         obs::RequestTrace trace;
@@ -125,16 +126,29 @@ std::future<double> PredictionService::Submit(const CompactAst& ast, int device_
         trace.AddSegment(obs::Stage::kCacheLookup, trace.total_ms);
         obs::TraceCollector::Global().Emit(std::move(trace));
       }
-      return ready.get_future();
+      *ready = resolved.get_future();
+      return false;
     }
   }
 
+  if (copy_ast) {
+    req->owned_ast = ast;
+  } else {
+    req->borrowed_ast = &ast;
+  }
+  req->device_id = device_id;
+  req->key = key;
+  req->submit_time = t0;
+  req->traced = traced;
+  return true;
+}
+
+std::future<double> PredictionService::Submit(const CompactAst& ast, int device_id) {
   Request req;
-  req.ast = ast;
-  req.device_id = device_id;
-  req.key = key;
-  req.submit_time = t0;
-  req.traced = traced;
+  std::future<double> ready;
+  if (!BuildRequest(ast, device_id, /*copy_ast=*/true, &req, &ready)) {
+    return ready;
+  }
   std::future<double> result = req.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -143,6 +157,45 @@ std::future<double> PredictionService::Submit(const CompactAst& ast, int device_
   }
   queue_cv_.notify_one();
   return result;
+}
+
+std::vector<std::future<double>> PredictionService::SubmitBorrowedBatch(
+    const std::vector<const CompactAst*>& asts, const std::vector<int>& device_ids) {
+  CDMPP_CHECK(asts.size() == device_ids.size());
+  std::vector<std::future<double>> futures;
+  futures.reserve(asts.size());
+  std::vector<Request> pending;
+  pending.reserve(asts.size());
+  for (size_t i = 0; i < asts.size(); ++i) {
+    CDMPP_CHECK(asts[i] != nullptr);
+    Request req;
+    std::future<double> ready;
+    if (BuildRequest(*asts[i], device_ids[i], /*copy_ast=*/false, &req, &ready)) {
+      futures.push_back(req.promise.get_future());
+      pending.push_back(std::move(req));
+    } else {
+      futures.push_back(std::move(ready));
+    }
+  }
+  if (!pending.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      CDMPP_CHECK_MSG(!stop_, "SubmitBorrowedBatch after Shutdown");
+      for (Request& req : pending) {
+        queue_.push_back(std::move(req));
+      }
+    }
+    // One wake-up after the whole population is visible: the first worker to
+    // drain sees every request at once, so the batch forms at population size
+    // without a batch-window wait. (A second worker only helps if the
+    // population exceeds max_batch_size — wake it only then.)
+    if (static_cast<int>(pending.size()) > options_.max_batch_size) {
+      queue_cv_.notify_all();
+    } else {
+      queue_cv_.notify_one();
+    }
+  }
+  return futures;
 }
 
 double PredictionService::Predict(const CompactAst& ast, int device_id) {
@@ -277,7 +330,7 @@ void PredictionService::ProcessBatch(std::vector<Request> requests,
     view.asts.reserve(to_compute.size());
     view.device_ids.reserve(to_compute.size());
     for (size_t pos : to_compute) {
-      view.asts.push_back(&requests[pos].ast);
+      view.asts.push_back(&requests[pos].ast());
       view.device_ids.push_back(requests[pos].device_id);
     }
     // Rare slow path: create heads (and, in int8 mode, their quantized

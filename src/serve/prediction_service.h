@@ -91,6 +91,25 @@ class PredictionService {
   // otherwise. Thread-safe; callable from any number of client threads.
   std::future<double> Submit(const CompactAst& ast, int device_id);
 
+  // Bulk zero-copy variant of Submit for population-scoring clients
+  // (src/search/cost_model_client.h). Two differences from a Submit loop,
+  // both load-bearing for tuning throughput:
+  //   * borrowed ASTs — the service keeps pointers instead of copying node
+  //     arrays, so submitting a whole candidate population costs no copies.
+  //     Lifetime contract: the caller must keep every AST alive and
+  //     unmodified until its future resolves (a client that waits out all
+  //     futures before touching its population — as
+  //     CostModelClient::ScoreBatch does — satisfies this by construction).
+  //   * one queue lock and ONE worker wake-up for the whole population, after
+  //     every request is enqueued — the draining worker sees the full batch
+  //     immediately, so population-sized forwards form with no batch-window
+  //     wait and no per-request notify/wake churn.
+  // Same semantics per request otherwise: cache fast path, coalescing,
+  // leaf-count-bucketed batching. futures[i] corresponds to (asts[i],
+  // device_ids[i]).
+  std::vector<std::future<double>> SubmitBorrowedBatch(
+      const std::vector<const CompactAst*>& asts, const std::vector<int>& device_ids);
+
   // Blocking convenience wrapper around Submit. Must not be called from a
   // worker thread (it waits on the worker pool).
   double Predict(const CompactAst& ast, int device_id);
@@ -128,7 +147,12 @@ class PredictionService {
 
  private:
   struct Request {
-    CompactAst ast;  // owned copy: the request may outlive the caller's object
+    // Submit stores an owned copy (the request may outlive the caller's
+    // object); SubmitBorrowed stores only the pointer under the caller's
+    // keep-alive contract. ast() picks whichever this request carries.
+    CompactAst owned_ast;
+    const CompactAst* borrowed_ast = nullptr;
+    const CompactAst& ast() const { return borrowed_ast ? *borrowed_ast : owned_ast; }
     int device_id = -1;
     CacheKey key;
     std::promise<double> promise;
@@ -138,6 +162,12 @@ class PredictionService {
     bool traced = false;
   };
 
+  // Builds one request (or resolves it straight from the cache, returning an
+  // already-satisfied future in *ready). Shared by Submit and
+  // SubmitBorrowedBatch; `copy_ast` selects owned vs borrowed AST storage.
+  // Returns true if the request must be enqueued (written to *req).
+  bool BuildRequest(const CompactAst& ast, int device_id, bool copy_ast, Request* req,
+                    std::future<double>* ready);
   void WorkerLoop();
   // Coalesces duplicates, re-checks the cache, runs the batched forward for
   // the remaining unique rows, and fulfills every promise. `ws` and

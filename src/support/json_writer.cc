@@ -1,0 +1,176 @@
+#include "src/support/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/support/check.h"
+
+namespace cdmpp {
+
+void JsonWriter::Indent() {
+  out_.push_back('\n');
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  CDMPP_CHECK_MSG(!done_, "JsonWriter: value after the root closed");
+  if (stack_.empty()) {
+    return;  // root value
+  }
+  Frame& top = stack_.back();
+  if (top.type == '{') {
+    // Inside an object a value may only follow its Key (which already wrote
+    // the separator and indent).
+    CDMPP_CHECK_MSG(top.key_pending, "JsonWriter: object value without a Key");
+    top.key_pending = false;
+    return;
+  }
+  if (top.count > 0) {
+    out_.push_back(',');
+  }
+  Indent();
+  ++top.count;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back(Frame{'{', 0, false});
+}
+
+void JsonWriter::EndObject() {
+  CDMPP_CHECK_MSG(!stack_.empty() && stack_.back().type == '{',
+                  "JsonWriter: EndObject without matching BeginObject");
+  CDMPP_CHECK_MSG(!stack_.back().key_pending, "JsonWriter: EndObject after a dangling Key");
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) {
+    Indent();
+  }
+  out_.push_back('}');
+  if (stack_.empty()) {
+    done_ = true;
+  }
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back(Frame{'[', 0, false});
+}
+
+void JsonWriter::EndArray() {
+  CDMPP_CHECK_MSG(!stack_.empty() && stack_.back().type == '[',
+                  "JsonWriter: EndArray without matching BeginArray");
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) {
+    Indent();
+  }
+  out_.push_back(']');
+  if (stack_.empty()) {
+    done_ = true;
+  }
+}
+
+void JsonWriter::Key(const std::string& key) {
+  CDMPP_CHECK_MSG(!stack_.empty() && stack_.back().type == '{',
+                  "JsonWriter: Key outside an object");
+  Frame& top = stack_.back();
+  CDMPP_CHECK_MSG(!top.key_pending, "JsonWriter: Key after Key");
+  if (top.count > 0) {
+    out_.push_back(',');
+  }
+  Indent();
+  ++top.count;
+  AppendEscaped(key);
+  out_.append(": ");
+  top.key_pending = true;
+}
+
+void JsonWriter::AppendEscaped(const std::string& s) {
+  out_.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_.append("\\\"");
+        break;
+      case '\\':
+        out_.append("\\\\");
+        break;
+      case '\n':
+        out_.append("\\n");
+        break;
+      case '\t':
+        out_.append("\\t");
+        break;
+      case '\r':
+        out_.append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_.append(buf);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  AppendEscaped(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_.append(value ? "true" : "false");
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_.append(buf);
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  out_.append(buf);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    value = 0.0;  // keep the artifact json.load-able; NaN/inf are not JSON
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  out_.append(buf);
+}
+
+void JsonWriter::RawValue(const std::string& json) {
+  BeforeValue();
+  out_.append(json);
+}
+
+std::string JsonWriter::str() const {
+  CDMPP_CHECK_MSG(done_ && stack_.empty(), "JsonWriter: unclosed object/array at str()");
+  return out_;
+}
+
+void JsonWriter::WriteFile(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  CDMPP_CHECK_MSG(f != nullptr, "JsonWriter: cannot open output file");
+  const std::string doc = str();
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+}  // namespace cdmpp

@@ -1,0 +1,74 @@
+// Minimal streaming JSON writer for the machine-readable bench artifacts
+// (BENCH_*.json). The bench binaries used to hand-roll fprintf JSON per
+// file; this centralizes escaping, comma placement, and number formatting so
+// every emitter produces parseable output by construction.
+//
+// Usage is push-based and always well-formed as long as Begin*/End* pair up
+// (CHECKed at End/str time):
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//     w.Key("qps"); w.Double(12345.6);
+//     w.Key("series"); w.BeginArray();
+//       w.Int(1); w.Int(2);
+//     w.EndArray();
+//   w.EndObject();
+//   w.WriteFile("BENCH_foo.json");
+//
+// Not a serialization framework: no reflection, no parsing, just the exact
+// output shape the bench tier needs (2-space indent, "%.10g" doubles,
+// non-finite doubles clamped to 0.0 so downstream json.load never sees NaN).
+#ifndef SRC_SUPPORT_JSON_WRITER_H_
+#define SRC_SUPPORT_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cdmpp {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Must be called between values inside an object, before each value.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Bool(bool value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+
+  // Embeds a pre-rendered JSON value verbatim (e.g. MetricsRegistry::DumpJson
+  // output). The caller vouches for its validity.
+  void RawValue(const std::string& json);
+
+  // The finished document. CHECKs that every Begin* was closed.
+  std::string str() const;
+  // str() + trailing newline written to `path`; CHECK-fails if the file
+  // cannot be opened.
+  void WriteFile(const std::string& path) const;
+
+ private:
+  struct Frame {
+    char type = '\0';  // '{' or '['
+    int count = 0;     // values emitted so far (comma placement)
+    bool key_pending = false;
+  };
+
+  void BeforeValue();
+  void Indent();
+  void AppendEscaped(const std::string& s);
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool done_ = false;
+};
+
+}  // namespace cdmpp
+
+#endif  // SRC_SUPPORT_JSON_WRITER_H_

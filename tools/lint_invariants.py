@@ -13,13 +13,18 @@ in a temp tree and asserts the linter catches it):
                         dispatch contract: a stray intrinsic in a generic TU
                         executes AVX2 on hosts CPUID said don't have it.
 
-  R2 determinism-sources  src/nn/ and src/core/ must not use rand(),
-                        std::random_device, or std::unordered_* containers.
-                        The data plane's bitwise thread-count/batch-size
-                        invariance (threading_test, kernels_test) dies the
-                        moment an accumulation iterates a hash container or a
-                        nondeterministic source feeds the forward path; seeded
-                        cdmpp::Rng is the only sanctioned randomness.
+  R2 determinism-sources  src/nn/, src/core/, and src/search/ must not use
+                        rand(), std::random_device, or std::unordered_*
+                        containers. The data plane's bitwise thread-count/
+                        batch-size invariance (threading_test, kernels_test)
+                        dies the moment an accumulation iterates a hash
+                        container or a nondeterministic source feeds the
+                        forward path — and the tuning tier's same-seed ⇒
+                        same-SearchCurve contract (search_test, the
+                        bench_tuning parity gate) dies the same way if a
+                        search driver's dedup map or rng stream is
+                        nondeterministic; seeded cdmpp::Rng is the only
+                        sanctioned randomness.
 
   R3 workspace-threading  Every ForwardInference *definition* must either
                         take a Workspace* parameter or construct/lease a
@@ -184,7 +189,8 @@ def check_isa_isolation(root):
 def check_determinism_sources(root):
     findings = []
     for path in iter_source_files(root, [os.path.join("src", "nn"),
-                                         os.path.join("src", "core")]):
+                                         os.path.join("src", "core"),
+                                         os.path.join("src", "search")]):
         rel = relpath(root, path)
         with open(path, encoding="utf-8", errors="replace") as f:
             text = strip_comments_and_strings(f.read())
@@ -336,33 +342,46 @@ def run_all(root):
 
 
 # ---------------------------------------------------------------------------
-# Self-test: seed one violation per rule in a temp tree; every rule must fire
-# there, and every rule must stay quiet on a minimal clean tree.
+# Self-test: seed violations of every rule in a temp tree (one per covered
+# scope where a rule spans several directories); every seed must fire
+# individually, and every rule must stay quiet on a minimal clean tree.
 # ---------------------------------------------------------------------------
 SEEDED_VIOLATIONS = {
-    "isa-isolation": ("src/nn/bad_simd.cc", "#include <immintrin.h>\n"),
-    "determinism-sources": (
-        "src/nn/bad_rand.cc",
-        "#include <unordered_map>\n"
-        "float Sum() {\n"
-        "  std::unordered_map<int, float> acc;\n"
-        "  float s = static_cast<float>(rand());\n"
-        "  for (const auto& kv : acc) s += kv.second;\n"
-        "  return s;\n"
-        "}\n"),
-    "workspace-threading": (
-        "src/nn/bad_layer.cc",
-        "Matrix Foo::ForwardInference(const Matrix& x) const {\n"
-        "  Matrix y(x.rows(), x.cols());\n"
-        "  return y;\n"
-        "}\n"),
-    "zero-alloc-fork": (
-        "src/nn/bad_fork.cc",
-        "void Bar(std::vector<float>* v) {\n"
-        "  ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {\n"
-        "    for (int64_t i = b; i < e; ++i) v->push_back(0.0f);\n"
-        "  });\n"
-        "}\n"),
+    "isa-isolation": [("src/nn/bad_simd.cc", "#include <immintrin.h>\n")],
+    "determinism-sources": [
+        ("src/nn/bad_rand.cc",
+         "#include <unordered_map>\n"
+         "float Sum() {\n"
+         "  std::unordered_map<int, float> acc;\n"
+         "  float s = static_cast<float>(rand());\n"
+         "  for (const auto& kv : acc) s += kv.second;\n"
+         "  return s;\n"
+         "}\n"),
+        # The widened scope: a search driver whose dedup/randomness would
+        # break the same-seed => same-SearchCurve contract.
+        ("src/search/bad_dedup.cc",
+         "#include <random>\n"
+         "#include <unordered_map>\n"
+         "size_t Dedup(const std::vector<uint64_t>& keys) {\n"
+         "  std::random_device rd;\n"
+         "  std::unordered_map<uint64_t, size_t> slots;\n"
+         "  for (uint64_t k : keys) slots.emplace(k, slots.size() + rd());\n"
+         "  return slots.size();\n"
+         "}\n"),
+    ],
+    "workspace-threading": [
+        ("src/nn/bad_layer.cc",
+         "Matrix Foo::ForwardInference(const Matrix& x) const {\n"
+         "  Matrix y(x.rows(), x.cols());\n"
+         "  return y;\n"
+         "}\n")],
+    "zero-alloc-fork": [
+        ("src/nn/bad_fork.cc",
+         "void Bar(std::vector<float>* v) {\n"
+         "  ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {\n"
+         "    for (int64_t i = b; i < e; ++i) v->push_back(0.0f);\n"
+         "  });\n"
+         "}\n")],
 }
 
 CLEAN_FILES = {
@@ -397,21 +416,26 @@ def self_test():
         clean = run_all(tmp)
         if clean:
             failures.append("clean tree produced findings: %r" % (clean,))
-        for rule_name, (rel, content) in SEEDED_VIOLATIONS.items():
-            path = os.path.join(tmp, rel)
-            with open(path, "w", encoding="utf-8") as f:
-                f.write(content)
-            found = [f4 for f4 in run_all(tmp) if f4[2] == rule_name]
-            if not found:
-                failures.append("seeded %s violation in %s was NOT detected" %
-                                (rule_name, rel))
-            os.remove(path)
+        seeded = 0
+        for rule_name, seeds in SEEDED_VIOLATIONS.items():
+            for rel, content in seeds:
+                seeded += 1
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(content)
+                found = [f4 for f4 in run_all(tmp)
+                         if f4[2] == rule_name and f4[0] == rel]
+                if not found:
+                    failures.append("seeded %s violation in %s was NOT detected" %
+                                    (rule_name, rel))
+                os.remove(path)
     if failures:
         for msg in failures:
             print("SELF-TEST FAIL: %s" % msg, file=sys.stderr)
         return 2
-    print("self-test: %d/%d rules fire on seeded violations, clean tree passes"
-          % (len(SEEDED_VIOLATIONS), len(ALL_RULES)))
+    print("self-test: %d seeded violations across %d rules all fire, "
+          "clean tree passes" % (seeded, len(ALL_RULES)))
     return 0
 
 
