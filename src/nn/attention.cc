@@ -80,7 +80,7 @@ Matrix* AttentionContext(const Matrix& q_all, const Matrix& k_all, const Matrix&
   const double flops =
       4.0 * static_cast<double>(blocks) * seq_len * static_cast<double>(seq_len) * d_head;
   ThreadPool& pool = ThreadPool::Global();
-  if (pool.num_threads() > 1 && blocks > 1 && WorthForkingWork(flops)) {
+  if (WorthForking(pool, blocks, flops)) {
     // Forked: each chunk leases its scores scratch from the global pool (the
     // caller's `ws` stays single-owner).
     pool.ParallelForWithScratch(WorkspacePool::Global(), 0, blocks, ParallelGrain(blocks),

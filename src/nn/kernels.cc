@@ -67,10 +67,6 @@ inline void InitAccRow(float* acc, const float* crow, int nc, float beta) {
   }
 }
 
-bool WorthForking(int m, int n, int k) {
-  return WorthForkingWork(2.0 * m * n * std::max(k, 1));
-}
-
 // Data-plane event counters: every dispatched GEMM bumps a calls counter and
 // a flops counter named by precision and the ISA it dispatched to, so a
 // metrics snapshot attributes compute volume to the code path that ran it.
@@ -98,10 +94,10 @@ void CountGemm(bool int8, int m, int n, int k) {
 }
 
 // Runs `panel(i0, i1)` over [0, m), forking across the pool only when the
-// product is big enough to pay for it.
+// shared policy says the product pays for it (2*m*n*k flop-equivalents).
 template <typename Panel>
 void RunPanels(int m, int n, int k, Panel&& panel) {
-  if (!WorthForking(m, n, k)) {
+  if (!WorthForking(ThreadPool::Global(), m, 2.0 * m * n * std::max(k, 1))) {
     panel(0, m);
     return;
   }

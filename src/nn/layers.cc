@@ -82,7 +82,7 @@ Matrix* Relu::ForwardInference(const Matrix& x, Workspace* ws) const {
       dst[i] = std::max(0.0f, src[i]);
     }
   };
-  if (WorthForkingWork(4.0 * static_cast<double>(total))) {
+  if (WorthForking(ThreadPool::Global(), total, 4.0 * static_cast<double>(total))) {
     ParallelFor(0, total, ParallelGrain(total), clamp_range);
   } else {
     clamp_range(0, total);
@@ -177,7 +177,7 @@ void LayerNormRowsInto(const Matrix& x, const float* gamma, const float* beta, f
   };
   // ~10 flops per element over the mean/var/normalize passes, against the
   // shared fork policy.
-  if (WorthForkingWork(10.0 * static_cast<double>(n) * d)) {
+  if (WorthForking(ThreadPool::Global(), n, 10.0 * static_cast<double>(n) * d)) {
     ParallelFor(0, n, ParallelGrain(n), normalize_rows);
   } else {
     normalize_rows(0, n);

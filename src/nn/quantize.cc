@@ -85,7 +85,7 @@ void QuantizeRowsImpl(int rows, int k, const float* x, int ldx, const float* inv
       kernels::detail::QuantizeRowsPanelAvx2(r0, r1, k, x, ldx, inv_col, qmax, q, ldq,
                                              scales);
     };
-    if (WorthForkingWork(8.0 * static_cast<double>(rows) * k)) {
+    if (WorthForking(ThreadPool::Global(), rows, 8.0 * static_cast<double>(rows) * k)) {
       ParallelFor(0, rows, ParallelGrain(rows), quantize_rows_avx2);
     } else {
       quantize_rows_avx2(0, rows);
@@ -95,7 +95,7 @@ void QuantizeRowsImpl(int rows, int k, const float* x, int ldx, const float* inv
 #endif
   // ~8 work units per element (absmax pass + round/clamp/store pass),
   // against the shared fork policy.
-  if (WorthForkingWork(8.0 * static_cast<double>(rows) * k)) {
+  if (WorthForking(ThreadPool::Global(), rows, 8.0 * static_cast<double>(rows) * k)) {
     ParallelFor(0, rows, ParallelGrain(rows), quantize_rows);
   } else {
     quantize_rows(0, rows);

@@ -84,6 +84,14 @@ class Workspace {
 //     each. Prefer the RAII Lease (exception-safe) over manual pairing.
 //   * The free list is LIFO: the most recently returned — cache-hot, already
 //     grown — arena is the next one lent.
+//   * An arena may be USED by a thread other than the one that checked it
+//     out: ParallelForWithScratch checks out every lease on the calling
+//     thread before the region forks, and a stealing pool worker then runs
+//     the chunk that bumps that arena. This is safe because each chunk has
+//     the arena exclusively, the region publish/join path (a mutex in
+//     parallel_for.cc) orders the checkout before any stolen chunk runs, and
+//     the executors-drained barrier orders every chunk's arena writes before
+//     the caller returns the leases.
 class WorkspacePool {
  public:
   WorkspacePool() = default;

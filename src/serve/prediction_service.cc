@@ -210,7 +210,10 @@ void PredictionService::WorkerLoop() {
   // parallelism inside the forward (batch-row attention chunks) leases
   // additional scratch from the same pool; checkout grows on demand and
   // never blocks, so worker-level and per-chunk leases compose without
-  // deadlock.
+  // deadlock. Workers no longer need to avoid a busy compute pool either:
+  // since the work-stealing scheduler (src/support/parallel_for.cc), each
+  // worker's ParallelFor registers its own region and concurrent forwards
+  // compose instead of one of them collapsing to serial.
   WorkspacePool::Lease ws = WorkspacePool::Global().Acquire();
   std::vector<double> predictions;
   for (;;) {

@@ -3,6 +3,14 @@
 // (src/nn/kernels.cc and the batch-row loops in the layers) uses, so the
 // whole library shares one pool instead of spawning threads per call.
 //
+// Multiple top-level regions may be in flight at once: each ParallelFor
+// publishes its chunk descriptor into a registry, drains its own region, and
+// idle pool workers steal chunks from whichever registered region still has
+// some. Concurrent callers therefore compose instead of convoying — a serve
+// worker's GEMM no longer collapses to serial because another worker's
+// forward got to the pool first. See parallel_for.cc for the scheduler and
+// the README "Threading model" section for the determinism argument.
+//
 // Sizing: the global pool honors the CDMPP_NUM_THREADS environment variable
 // (a complete decimal integer in [1, 1024]); malformed or out-of-range values
 // fall back to std::thread::hardware_concurrency(), itself clamped to >= 1.
@@ -74,17 +82,25 @@ class ThreadPool {
   // fn(chunk_begin, chunk_end) across the pool; the calling thread
   // participates. Blocks until every chunk has completed.
   //
+  // - Concurrent top-level callers compose: each call registers its own
+  //   region and idle workers steal chunks from any live region, so a busy
+  //   pool never demotes a top-level call to serial (the pre-stealing
+  //   scheduler did exactly that, counted as serial_contended; that counter
+  //   now only moves on registry overflow at 256 concurrent regions).
   // - Runs serially inline (one fn(begin, end) call) when the range fits a
-  //   single chunk, the pool has one thread, the caller is already inside a
-  //   ParallelFor (nested submits never deadlock, they just run serial), or
-  //   another thread currently drives a region (regions do not queue).
+  //   single chunk, the pool has one thread, or the caller is already inside
+  //   a ParallelFor (nested submits never deadlock; see parallel_for.cc for
+  //   why nested stays inline-serial).
   // - Exceptions thrown by fn are caught; the first one is rethrown on the
   //   calling thread after all remaining chunks have been drained (their
-  //   bodies are skipped once a failure is recorded).
+  //   bodies are skipped once a failure is recorded). Failures never leak
+  //   across regions: a stealing worker reports into the region that owns
+  //   the chunk it was running.
   // - fn must be safe to run concurrently on disjoint chunks. Callers that
   //   need run-to-run determinism (the GEMM kernels guarantee bitwise
   //   batch-size-invariant results) must make per-element output independent
-  //   of the chunk partition.
+  //   of the chunk partition; the partition itself is fixed at begin + j*grain
+  //   no matter which threads claim the chunks.
   template <typename Fn>
   void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
     using F = typename std::remove_reference<Fn>::type;
@@ -129,9 +145,9 @@ class ThreadPool {
     }
     // A single-thread pool or a nested call is guaranteed to run inline as
     // one chunk (same conditions RunImpl checks): don't lease scratch that
-    // cannot be used. (A region that falls back to inline because another
-    // thread holds the pool is only discovered inside RunImpl; that rarer
-    // case pays for its unused leases.)
+    // cannot be used. (The only other inline fallback left is registry
+    // overflow at 256 concurrent regions, discovered inside RunImpl; that
+    // vanishingly rare case pays for its unused leases.)
     if (num_threads_ == 1 || InParallelRegion()) {
       grain = end - begin;
       num_chunks = 1;
@@ -173,6 +189,18 @@ class ThreadPool {
 template <typename Fn>
 void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
   ThreadPool::Global().ParallelFor(begin, end, grain, std::forward<Fn>(fn));
+}
+
+// The full fork decision every data-plane call site shares: forking pays off
+// only when the pool actually has extra threads, the range splits into more
+// than one item, and the estimated work (flop-equivalents, see
+// kParallelMinWork) amortizes the publish/wake handshake. Call sites that
+// skip the fork run their body inline without even touching the pool.
+// Centralizing this beats each TU re-deriving the pool/items checks — with
+// regions now composing, the policy is purely about overhead, not about
+// dodging a busy pool.
+inline bool WorthForking(const ThreadPool& pool, int64_t items, double work) {
+  return pool.num_threads() > 1 && items > 1 && WorthForkingWork(work);
 }
 
 // Load-balance grain over `n` items: ~4 chunks per global-pool thread

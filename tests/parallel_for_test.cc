@@ -1,14 +1,19 @@
 // ThreadPool / ParallelFor contract tests: partition correctness, nested
-// submits, exception propagation, and single-thread determinism.
+// submits, exception propagation, single-thread determinism, and the
+// stealing scheduler's concurrent-region composition.
 #include <atomic>
 #include <algorithm>
+#include <map>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
 #include "src/support/parallel_for.h"
 
 namespace cdmpp {
@@ -158,6 +163,125 @@ TEST(ResolveNumThreadsTest, HardwareFallbackIsAlwaysPositive) {
   EXPECT_EQ(ThreadPool::ResolveNumThreads(nullptr, 0), 1);
   EXPECT_EQ(ThreadPool::ResolveNumThreads("junk", 0), 1);
   EXPECT_EQ(ThreadPool::ResolveNumThreads(nullptr, -2), 1);
+}
+
+uint64_t CounterOrZero(const std::map<std::string, uint64_t>& counters,
+                       const std::string& name) {
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+TEST(ParallelForTest, ConcurrentTopLevelRegionsComposeWithoutSerialFallback) {
+  // The whole point of the stealing scheduler: top-level callers arriving at
+  // a busy pool fork their own region instead of collapsing to inline serial
+  // (the old serial_contended path). Regions overlap deterministically here:
+  // every chunk body spins until all callers have started their region, so
+  // regions_concurrent_peak must reach the caller count too.
+  ThreadPool pool(4);
+  constexpr int kCallers = 3;
+  constexpr int64_t kN = 4096;
+  const auto before = obs::MetricsRegistry::Global().CounterValues();
+
+  std::atomic<int> regions_started{0};
+  std::vector<int64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::atomic<int64_t> sum{0};
+      // Chunks of one region can run on the caller AND on stealing workers
+      // concurrently, so the once-per-region latch must be atomic.
+      std::atomic<bool> counted{false};
+      pool.ParallelFor(0, kN, /*grain=*/256, [&](int64_t b, int64_t e) {
+        if (!counted.exchange(true)) {
+          regions_started.fetch_add(1);
+        }
+        while (regions_started.load() < kCallers) {
+          std::this_thread::yield();
+        }
+        int64_t local = 0;
+        for (int64_t i = b; i < e; ++i) {
+          local += i * (c + 1);
+        }
+        sum.fetch_add(local);
+      });
+      sums[static_cast<size_t>(c)] = sum.load();
+    });
+  }
+  for (auto& t : callers) {
+    t.join();
+  }
+
+  const int64_t base = kN * (kN - 1) / 2;
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(sums[static_cast<size_t>(c)], base * (c + 1)) << "caller " << c;
+  }
+  const auto after = obs::MetricsRegistry::Global().CounterValues();
+  EXPECT_EQ(CounterOrZero(after, "parallel_for.serial_contended"),
+            CounterOrZero(before, "parallel_for.serial_contended"));
+  EXPECT_GE(CounterOrZero(after, "parallel_for.forked"),
+            CounterOrZero(before, "parallel_for.forked") + kCallers);
+  // Monotonic high-water counter: its value IS the peak, so after a forced
+  // kCallers-way overlap it must read at least kCallers.
+  EXPECT_GE(CounterOrZero(after, "parallel_for.regions_concurrent_peak"),
+            static_cast<uint64_t>(kCallers));
+}
+
+TEST(ParallelForTest, IdleWorkerStealsChunksOfAnActiveRegion) {
+  // A region whose first chunk blocks until a second executor arrives can
+  // only finish if a pool worker steals the remaining chunks — this pins the
+  // publish/wake path (and would hang, loudly, if wake-ups were lost).
+  ThreadPool pool(2);
+  const auto before = obs::MetricsRegistry::Global().CounterValues();
+  std::atomic<int> arrived{0};
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 64, /*grain=*/8, [&](int64_t b, int64_t e) {
+    arrived.fetch_add(1);
+    while (arrived.load() < 2) {
+      std::this_thread::yield();
+    }
+    covered.fetch_add(e - b);
+  });
+  EXPECT_EQ(covered.load(), 64);
+  const auto after = obs::MetricsRegistry::Global().CounterValues();
+  EXPECT_GE(CounterOrZero(after, "parallel_for.steals"),
+            CounterOrZero(before, "parallel_for.steals") + 1);
+}
+
+TEST(ParallelForTest, ExceptionStaysInItsOwnRegion) {
+  // Failures must not leak across concurrently draining regions: the
+  // throwing caller sees its exception, the healthy caller sees its sums.
+  ThreadPool pool(4);
+  constexpr int kReps = 25;
+  std::atomic<int> caught{0};
+  std::thread thrower([&] {
+    for (int rep = 0; rep < kReps; ++rep) {
+      try {
+        pool.ParallelFor(0, 512, 16, [&](int64_t b, int64_t) {
+          if (b == 256) {
+            throw std::runtime_error("boom");
+          }
+        });
+      } catch (const std::runtime_error&) {
+        caught.fetch_add(1);
+      }
+    }
+  });
+  std::thread healthy([&] {
+    for (int rep = 0; rep < kReps; ++rep) {
+      std::atomic<int64_t> sum{0};
+      pool.ParallelFor(0, 1000, 32, [&](int64_t b, int64_t e) {
+        int64_t local = 0;
+        for (int64_t i = b; i < e; ++i) {
+          local += i;
+        }
+        sum.fetch_add(local);
+      });
+      ASSERT_EQ(sum.load(), 1000 * 999 / 2) << "rep " << rep;
+    }
+  });
+  thrower.join();
+  healthy.join();
+  EXPECT_EQ(caught.load(), kReps);
 }
 
 TEST(ParallelForTest, GlobalPoolWorks) {

@@ -24,10 +24,13 @@
 // The pinned contract: every future resolves to the bitwise-exact value the
 // active precision's direct forward computes, no matter how the interleaving
 // falls — recalibration from unchanged parameters is bitwise invisible.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <memory>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -254,6 +257,117 @@ TEST(TsanStressTest, ConcurrentSubmitRecalibrateStatsTraceAndPoolChurn) {
   service.Shutdown();
   ServerStatsSnapshot final_snap = service.Stats();
   EXPECT_LE(final_snap.cache_hits, final_snap.requests);
+}
+
+// The stealing scheduler under maximal interference: several concurrent
+// top-level ParallelFor callers (mixed grains, one of them repeatedly
+// throwing, every one running a nested ParallelForWithScratch inside its
+// chunks) against one small shared pool. The pinned contracts:
+//   * every caller's output is bitwise-identical to a plain serial loop —
+//     the chunk partition is fixed at publish time, so neither stealing nor
+//     the interleaving may change any value,
+//   * every scratch lease returns (num_free == num_arenas afterwards), even
+//     on the throwing caller's unwinding path,
+//   * serial_contended does not move: contended top-level regions now fork
+//     and compose instead of collapsing to inline serial.
+TEST(TsanStressTest, ConcurrentTopLevelParallelForCallersComposeBitwise) {
+  ScopedGlobalPool pool(4);
+  WorkspacePool scratch_pool;  // private: lease accounting is exact
+
+  constexpr int kCallers = 4;
+  constexpr int kIters = 60;
+  constexpr int64_t kN = 2048;
+  const int64_t grains[kCallers] = {16, 48, 129, 512};  // mixed, non-dividing
+
+  // Per-element functions with no partition-sensitive state: f writes out[],
+  // g writes out2[] from inside the nested region.
+  auto f = [](int caller, int64_t i) {
+    const float x = 0.5f + static_cast<float>((i * 37 + caller * 11) % 101);
+    return x * x + 3.0f * x + static_cast<float>(caller);
+  };
+  auto g = [](int caller, int64_t i) {
+    return static_cast<float>((i * 13 + caller) % 257) * 0.25f;
+  };
+
+  // Serial references, computed before any concurrency starts.
+  std::vector<std::vector<float>> want(kCallers), want2(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    want[c].resize(kN);
+    want2[c].resize(kN);
+    for (int64_t i = 0; i < kN; ++i) {
+      want[c][static_cast<size_t>(i)] = f(c, i);
+      want2[c][static_cast<size_t>(i)] = g(c, i);
+    }
+  }
+
+  const uint64_t contended_before =
+      obs::MetricsRegistry::Global().CounterValues()["parallel_for.serial_contended"];
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> thrower_caught{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers + 1);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      std::vector<float> out(kN), out2(kN);
+      for (int iter = 0; iter < kIters; ++iter) {
+        std::fill(out.begin(), out.end(), 0.0f);
+        std::fill(out2.begin(), out2.end(), 0.0f);
+        pool.pool.ParallelFor(0, kN, grains[c], [&](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) {
+            out[static_cast<size_t>(i)] = f(c, i);
+          }
+          // Nested region with scratch: runs inline on this executor (maybe
+          // a stealing worker), leasing one arena per call. Writes stay in
+          // this chunk's [b, e) slice, so concurrent chunks never overlap.
+          pool.pool.ParallelForWithScratch(
+              scratch_pool, b, e, 7, [&](Workspace* ws, int64_t nb, int64_t ne) {
+                Matrix* tmp = ws->NewMatrix(4, 4);
+                tmp->data()[0] = static_cast<float>(nb);  // arena really bumps
+                for (int64_t i = nb; i < ne; ++i) {
+                  out2[static_cast<size_t>(i)] = g(c, i);
+                }
+              });
+        });
+        if (out != want[c] || out2 != want2[c]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  // The thrower: top-level regions that fail mid-drain while everyone else
+  // is stealing; the exception must come back to THIS caller every time and
+  // scratch leased by its nested regions must return on unwind.
+  callers.emplace_back([&] {
+    for (int iter = 0; iter < kIters; ++iter) {
+      try {
+        pool.pool.ParallelFor(0, kN, 64, [&](int64_t b, int64_t e) {
+          pool.pool.ParallelForWithScratch(scratch_pool, b, e, 33,
+                                           [&](Workspace* ws, int64_t nb, int64_t) {
+                                             ws->NewI16(16);
+                                             if (nb >= kN / 2) {
+                                               throw std::runtime_error("stress boom");
+                                             }
+                                           });
+        });
+      } catch (const std::runtime_error&) {
+        thrower_caught.fetch_add(1);
+      }
+    }
+  });
+  for (std::thread& t : callers) {
+    t.join();
+  }
+
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a concurrent ParallelFor caller deviated bitwise from the serial loop";
+  EXPECT_EQ(thrower_caught.load(), kIters);
+  EXPECT_EQ(scratch_pool.num_free(), scratch_pool.num_arenas())
+      << "a scratch lease leaked across the concurrent/unwinding paths";
+  const uint64_t contended_after =
+      obs::MetricsRegistry::Global().CounterValues()["parallel_for.serial_contended"];
+  EXPECT_EQ(contended_after, contended_before)
+      << "a contended top-level region fell back to serial";
 }
 
 }  // namespace

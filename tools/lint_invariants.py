@@ -40,7 +40,14 @@ in a temp tree and asserts the linter catches it):
                         pool workers: an allocation there is both a warm-path
                         heap hit (dataplane_test) and a malloc-lock
                         serialization point. Arena bumps (NewMatrix/NewI16 on
-                        leased scratch) are the sanctioned alternative.
+                        leased scratch) are the sanctioned alternative. The
+                        rule also scans the work-stealing scheduler itself
+                        (src/support/parallel_for.{cc,h}): every *Drain*/
+                        *Steal* function body — the per-chunk claim loop every
+                        stolen chunk runs through — and every task-descriptor
+                        lambda (the type-erasure trampoline and friends) must
+                        be token-free, or the scheduler would put a heap hit
+                        on every chunk of every region.
 
 Exit status: 0 clean, 1 violations found (printed as path:line: [rule] msg),
 2 self-test failure. Run from anywhere; the repo root is located relative to
@@ -303,12 +310,82 @@ def chunk_bodies_at(text, call_match, lambdas):
     return bodies
 
 
+# The scheduler's own hot paths: files holding the stealing scheduler, the
+# function-name shape of its per-chunk claim/execute loops, and the lambdas
+# that serve as task descriptors (the ParallelFor type-erasure trampoline,
+# wait predicates, the scratch-dispatch wrapper). Setup/teardown code there
+# may allocate (thread spawn, registry bookkeeping under the mutex); the
+# drain/steal loops and task lambdas run once per chunk and must not.
+SCHEDULER_FILES = ("src/support/parallel_for.cc", "src/support/parallel_for.h")
+SCHEDULER_FN = re.compile(r'\b\w*(?:Drain|Steal)\w*\s*\(')
+
+
+def all_lambda_bodies(text):
+    """Yields (body_pos, body) for every lambda literal in `text`, with or
+    without a parameter list. Array subscripts and attribute brackets are
+    rejected because neither `(` params + `{` nor a bare `{` follows them."""
+    for m in re.finditer(r'\[', text):
+        cap_end = match_bracket(text, m.start(), '[', ']')
+        if cap_end == -1:
+            continue
+        rest = re.match(r'\s*', text[cap_end:])
+        pos = cap_end + rest.end()
+        if pos < len(text) and text[pos] == '(':
+            par_end = match_bracket(text, pos, '(', ')')
+            if par_end == -1:
+                continue
+            between = re.match(r'\s*(?:mutable|noexcept)?\s*', text[par_end:])
+            pos = par_end + between.end()
+        if pos < len(text) and text[pos] == '{':
+            body_end = match_bracket(text, pos, '{', '}')
+            if body_end != -1:
+                yield pos, text[pos:body_end]
+
+
+def scheduler_steal_drain_findings(root):
+    """R4's widened scope: alloc tokens inside the scheduler's *Drain*/*Steal*
+    function bodies or inside any task-descriptor lambda in the scheduler
+    files."""
+    findings = []
+    for rel in SCHEDULER_FILES:
+        path = os.path.join(root, rel.replace("/", os.sep))
+        if not os.path.exists(path):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = strip_comments_and_strings(f.read())
+        regions = []  # (pos, body, what)
+        for m in SCHEDULER_FN.finditer(text):
+            params_end = match_bracket(text, m.end() - 1, '(', ')')
+            if params_end == -1:
+                continue
+            tail = re.match(r'\s*(?:const|noexcept|\s)*', text[params_end:])
+            brace = params_end + tail.end()
+            if brace >= len(text) or text[brace] != '{':
+                continue  # a call or declaration, not the definition
+            body_end = match_bracket(text, brace, '{', '}')
+            if body_end != -1:
+                regions.append((brace, text[brace:body_end],
+                                "steal/drain function"))
+        for pos, body in all_lambda_bodies(text):
+            regions.append((pos, body, "task-descriptor lambda"))
+        for pos, body, what in regions:
+            for pattern, token in ALLOC_TOKENS:
+                tok = pattern.search(body)
+                if tok:
+                    findings.append(
+                        (rel, line_of(text, pos + tok.start()), "zero-alloc-fork",
+                         "allocation token `%s` inside a scheduler %s: the "
+                         "steal/drain path runs once per chunk of every "
+                         "region and must be heap-free" % (token, what)))
+    return findings
+
+
 def check_zero_alloc_fork(root):
     findings = []
     for path in iter_source_files(root, ["src"], exts=(".cc",)):
         rel = relpath(root, path)
-        if rel == "src/support/parallel_for.cc":
-            continue  # the primitive's implementation, not a chunk body
+        if rel in SCHEDULER_FILES:
+            continue  # the primitive itself is scanned below, not as call sites
         with open(path, encoding="utf-8", errors="replace") as f:
             text = strip_comments_and_strings(f.read())
         lambdas = file_scope_lambdas(text)
@@ -323,6 +400,7 @@ def check_zero_alloc_fork(root):
                              "allocation token `%s` inside a %s chunk body: "
                              "chunk bodies must be heap-free (lease arena "
                              "scratch pre-fork instead)" % (token, call.group(1))))
+    findings.extend(scheduler_steal_drain_findings(root))
     return findings
 
 
@@ -381,7 +459,26 @@ SEEDED_VIOLATIONS = {
          "  ParallelFor(0, 8, 1, [&](int64_t b, int64_t e) {\n"
          "    for (int64_t i = b; i < e; ++i) v->push_back(0.0f);\n"
          "  });\n"
-         "}\n")],
+         "}\n"),
+        # The widened scope, leg 1: an allocation smuggled into the stealing
+        # scheduler's per-chunk drain loop.
+        ("src/support/parallel_for.cc",
+         "void ThreadPool::Impl::DrainRegion(Region* r, bool stealing) {\n"
+         "  for (;;) {\n"
+         "    claimed.push_back(r->next.fetch_add(r->grain));\n"
+         "    if (claimed.back() >= r->end) return;\n"
+         "  }\n"
+         "}\n"),
+        # The widened scope, leg 2: a task-descriptor lambda (the kind the
+        # type-erasure trampoline is) that allocates per invocation.
+        ("src/support/parallel_for.h",
+         "inline void SubmitChunk(void* ctx) {\n"
+         "  auto task = [](void* c, int64_t b, int64_t e) {\n"
+         "    static_cast<std::vector<float>*>(c)->resize(static_cast<size_t>(e - b));\n"
+         "  };\n"
+         "  task(ctx, 0, 8);\n"
+         "}\n"),
+    ],
 }
 
 CLEAN_FILES = {
